@@ -1,0 +1,88 @@
+"""Figure 10 — throughput and latency as a function of the number of
+clusters (regions), with a fixed total replica budget.
+
+Paper setup: zn = 60 replicas spread over 1..6 regions added in the
+order Oregon, Iowa, Montreal, Belgium, Taiwan, Sydney.  Expected shape
+(§4.1): GeoBFT is the only protocol that *benefits* from added regions;
+PBFT and Zyzzyva fall once remote continents join; Steward stays lowest;
+HotStuff sits between with high latency.
+"""
+
+from __future__ import annotations
+
+from repro.bench.charts import ascii_chart
+from repro.bench.reporting import format_figure_series
+
+from common import (
+    PROTOCOLS,
+    assert_shape,
+    geo_scale_points,
+    point_config,
+    run_point,
+)
+
+
+def reproduce_figure10():
+    points = geo_scale_points()
+    throughput = {p: [] for p in PROTOCOLS}
+    latency = {p: [] for p in PROTOCOLS}
+    for protocol in PROTOCOLS:
+        for z, n in points:
+            result = run_point(point_config(protocol, z, n, duration=1.4))
+            throughput[protocol].append(result.throughput_txn_s)
+            latency[protocol].append(result.avg_latency_s)
+    zs = [z for z, _ in points]
+    print()
+    print(format_figure_series(
+        f"Figure 10 (reproduced) — throughput vs #clusters "
+        f"(zn = {points[0][1]} replicas total)",
+        "z", zs, throughput, "txn/s"))
+    print()
+    print(ascii_chart("Figure 10 — throughput (txn/s)", "clusters", zs,
+                      throughput))
+    print()
+    print(format_figure_series(
+        "Figure 10 (reproduced) — latency vs #clusters",
+        "z", zs, latency, "s"))
+    return zs, throughput, latency
+
+
+def test_fig10_geoscale(benchmark):
+    zs, throughput, latency = benchmark.pedantic(
+        reproduce_figure10, rounds=1, iterations=1)
+    soft = []
+    geo, pbft = throughput["geobft"], throughput["pbft"]
+    zyz, hs, steward = (throughput["zyzzyva"], throughput["hotstuff"],
+                        throughput["steward"])
+    last = len(zs) - 1
+
+    # GeoBFT wins at geo scale, by a healthy factor over PBFT (paper:
+    # up to 3.1x) and ahead of HotStuff (paper: up to 1.3x).
+    assert_shape(geo[last] > 2.0 * pbft[last],
+                 "GeoBFT >2x PBFT at max regions")
+    assert_shape(geo[last] > hs[last], "GeoBFT beats HotStuff at geo scale")
+    assert_shape(geo[last] > zyz[last], "GeoBFT beats Zyzzyva at geo scale")
+
+    # Steward's centralized design + costly crypto keep it lowest.
+    assert_shape(steward[last] == min(t[last] for t in throughput.values()),
+                 "Steward lowest at geo scale")
+
+    # Single-primary protocols *lose* throughput as remote regions are
+    # added; GeoBFT does not collapse.
+    assert_shape(pbft[last] < pbft[0], "PBFT falls with added regions")
+    assert_shape(zyz[last] < zyz[0], "Zyzzyva falls with added regions")
+    assert_shape(geo[last] > 0.5 * max(geo),
+                 "GeoBFT sustains throughput across regions")
+
+    # At a single cluster GeoBFT pays overhead vs plain PBFT (§4.1).
+    assert_shape(geo[0] <= pbft[0] * 1.15,
+                 "GeoBFT does not beat PBFT at one region", soft)
+
+    # GeoBFT keeps the lowest latency at geo scale; HotStuff's 4-phase
+    # design gives it high latency.
+    assert_shape(latency["geobft"][last] <= latency["pbft"][last],
+                 "GeoBFT latency at most PBFT's at geo scale", soft)
+    assert_shape(latency["hotstuff"][last] > latency["geobft"][last],
+                 "HotStuff latency above GeoBFT's", soft)
+    if soft:
+        print(f"\nsoft shape deviations (scaled-down run): {soft}")

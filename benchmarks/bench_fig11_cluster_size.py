@@ -1,0 +1,81 @@
+"""Figure 11 — throughput and latency as a function of replicas per
+cluster, with z = 4 regions (Oregon, Iowa, Montreal, Belgium).
+
+Expected shape (§4.2): PBFT, Zyzzyva, and Steward are barely affected by
+n (their bottleneck is the single primary's WAN links); HotStuff's
+latency grows with n; GeoBFT loses some throughput as n grows (bigger
+certificates, f + 1 targets) but stays on top — the paper reports 2.9x
+PBFT and 1.2x HotStuff even at n = 15.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import format_figure_series
+
+from common import (
+    PROTOCOLS,
+    assert_shape,
+    cluster_size_points,
+    point_config,
+    run_point,
+)
+
+Z = 4
+
+
+def reproduce_figure11():
+    points = cluster_size_points()
+    throughput = {p: [] for p in PROTOCOLS}
+    latency = {p: [] for p in PROTOCOLS}
+    for protocol in PROTOCOLS:
+        for n in points:
+            result = run_point(point_config(protocol, Z, n, duration=1.4))
+            throughput[protocol].append(result.throughput_txn_s)
+            latency[protocol].append(result.avg_latency_s)
+    print()
+    print(format_figure_series(
+        f"Figure 11 (reproduced) — throughput vs replicas/cluster (z={Z})",
+        "n", points, throughput, "txn/s"))
+    print()
+    print(format_figure_series(
+        "Figure 11 (reproduced) — latency vs replicas/cluster",
+        "n", points, latency, "s"))
+    return points, throughput, latency
+
+
+def test_fig11_cluster_size(benchmark):
+    points, throughput, latency = benchmark.pedantic(
+        reproduce_figure11, rounds=1, iterations=1)
+    soft = []
+    last = len(points) - 1
+    geo = throughput["geobft"]
+
+    # GeoBFT on top at every cluster size.
+    for i, n in enumerate(points):
+        assert_shape(
+            geo[i] == max(t[i] for t in throughput.values()),
+            f"GeoBFT highest at n={n}")
+
+    # ... and still well ahead of PBFT at the largest n (paper: 2.9x).
+    assert_shape(geo[last] > 1.8 * throughput["pbft"][last],
+                 "GeoBFT >1.8x PBFT at max n")
+
+    # Steward lowest throughout (centralized + costly crypto).
+    for i, n in enumerate(points):
+        assert_shape(
+            throughput["steward"][i] == min(t[i]
+                                            for t in throughput.values()),
+            f"Steward lowest at n={n}", soft)
+
+    # PBFT's throughput is insensitive to n (within 2x across the
+    # sweep) — the primary's WAN links dominate, not the group size.
+    pbft = throughput["pbft"]
+    assert_shape(max(pbft) < 2.5 * min(pbft),
+                 "PBFT roughly flat in n", soft)
+
+    # HotStuff latency grows with n (QC size and vote fan-in).
+    hs_lat = latency["hotstuff"]
+    assert_shape(hs_lat[last] >= hs_lat[0],
+                 "HotStuff latency grows with n", soft)
+    if soft:
+        print(f"\nsoft shape deviations (scaled-down run): {soft}")

@@ -1,0 +1,79 @@
+"""Figure 13 — throughput as a function of the batch size (z = 4,
+n = 7).
+
+Expected shape (§4.4): the single-primary protocols (PBFT, Zyzzyva,
+Steward) are bottlenecked by one replica's WAN bandwidth and plateau;
+GeoBFT (a primary per region) and HotStuff (leaders everywhere) keep
+scaling with the batch size.  The paper reports GeoBFT up to 6x PBFT
+and up to 1.6x HotStuff at large batches.
+"""
+
+from __future__ import annotations
+
+from repro.bench.charts import ascii_chart
+from repro.bench.reporting import format_figure_series
+
+from common import (
+    PROTOCOLS,
+    assert_shape,
+    batch_points,
+    point_config,
+    run_point,
+)
+
+Z, N = 4, 7
+
+
+def reproduce_figure13():
+    points = batch_points()
+    throughput = {p: [] for p in PROTOCOLS}
+    for protocol in PROTOCOLS:
+        for batch in points:
+            result = run_point(point_config(
+                protocol, Z, N, batch_size=batch, duration=1.4))
+            throughput[protocol].append(result.throughput_txn_s)
+    print()
+    print(format_figure_series(
+        f"Figure 13 (reproduced) — throughput vs batch size (z={Z}, n={N})",
+        "batch", points, throughput, "txn/s"))
+    print()
+    print(ascii_chart("Figure 13 — throughput (txn/s)", "batch size",
+                      points, throughput))
+    return points, throughput
+
+
+def test_fig13_batching(benchmark):
+    points, throughput = benchmark.pedantic(
+        reproduce_figure13, rounds=1, iterations=1)
+    soft = []
+    last = len(points) - 1
+    geo, pbft, hs = (throughput["geobft"], throughput["pbft"],
+                     throughput["hotstuff"])
+
+    # Batching helps everyone relative to batch=10.
+    for protocol in PROTOCOLS:
+        series = throughput[protocol]
+        assert_shape(max(series[1:]) > series[0],
+                     f"{protocol} benefits from batching")
+
+    # The decentralized protocols keep scaling to the largest batches;
+    # GeoBFT ends clearly ahead of PBFT (paper: up to 6x) and ahead of
+    # HotStuff (paper: up to 1.6x).
+    assert_shape(geo[last] > 2.5 * pbft[last],
+                 "GeoBFT >2.5x PBFT at batch 300")
+    assert_shape(geo[last] > hs[last], "GeoBFT above HotStuff at batch 300")
+
+    # Single-primary protocols plateau: their last doubling of the
+    # batch size (150 -> 300 txns/batch) buys well under 2x txn
+    # throughput, while GeoBFT's relative gain is larger.
+    def gain(series):
+        return series[last] / max(1.0, series[last - 1])
+
+    for protocol in ("pbft", "zyzzyva", "steward"):
+        assert_shape(gain(throughput[protocol]) < 1.45,
+                     f"{protocol} plateaus at large batches", soft)
+    assert_shape(gain(geo) >= gain(pbft) * 0.9,
+                 "GeoBFT scales at least as well as PBFT in batch size",
+                 soft)
+    if soft:
+        print(f"\nsoft shape deviations (scaled-down run): {soft}")

@@ -1,0 +1,107 @@
+"""Table 1 — inter- and intra-cluster communication costs.
+
+Regenerates the paper's Table 1 by *measuring* the simulated network:
+ping round-trip times (a tiny message each way) and achievable bandwidth
+(a bulk transfer) between machines in all six Google Cloud regions.  The
+measured matrix must match the configured one — this validates that the
+substrate really exhibits the paper's WAN characteristics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.net.network import Network
+from repro.net.simulator import Simulation
+from repro.net.topology import PAPER_REGIONS, Topology
+from repro.types import replica_id
+
+
+class _Probe:
+    """A measurement endpoint that echoes pings."""
+
+    def __init__(self, node_id, region, network):
+        self.node_id = node_id
+        self.region = region
+        self.network = network
+        self.received_at = {}
+        network.register(self)
+
+    def deliver(self, message, sender):
+        kind, ident, size = message
+        if kind == "ping":
+            self.network.send(self.node_id, sender,
+                              _Sized(("pong", ident, size)))
+        else:
+            self.received_at[ident] = self.network.simulation.now
+
+
+class _Sized(tuple):
+    def size_bytes(self):
+        return self[2]
+
+
+def _probe_pair(topology, region_a, region_b):
+    """Measure (rtt_ms, bandwidth_mbit) between two regions."""
+    sim = Simulation()
+    network = Network(sim, topology)
+    a = _Probe(replica_id(1, 1), region_a, network)
+    b = _Probe(replica_id(2, 1), region_b, network)
+    # Ping: 64-byte message both ways.
+    start = sim.now
+    network.send(a.node_id, b.node_id, _Sized(("ping", "p1", 64)))
+    sim.run()
+    rtt_ms = (a.received_at["p1"] - start) * 1000.0
+    # Bandwidth: time a 4 MB bulk transfer, subtract propagation.
+    size = 4_000_000
+    start = sim.now
+    network.send(a.node_id, b.node_id, _Sized(("data", "d1", size)))
+    sim.run()
+    elapsed = b.received_at["d1"] - start
+    transfer = elapsed - topology.latency(region_a, region_b)
+    bandwidth_mbit = size * 8 / transfer / 1e6
+    return rtt_ms, bandwidth_mbit
+
+
+def reproduce_table1():
+    topology = Topology.paper(6)
+    rtt_rows, bw_rows = [], []
+    measured = {}
+    for i, a in enumerate(PAPER_REGIONS):
+        rtt_row, bw_row = [a], [a]
+        for j, b in enumerate(PAPER_REGIONS):
+            if j < i:
+                rtt_row.append("")
+                bw_row.append("")
+                continue
+            rtt, bw = _probe_pair(topology, a, b)
+            measured[(a, b)] = (rtt, bw)
+            rtt_row.append(round(rtt, 1))
+            bw_row.append(round(bw))
+        rtt_rows.append(rtt_row)
+        bw_rows.append(bw_row)
+    header = ["region"] + [r[:3].upper() for r in PAPER_REGIONS]
+    print()
+    print(format_table(header, rtt_rows,
+                       title="Table 1 (reproduced) — ping RTT (ms)"))
+    print()
+    print(format_table(header, bw_rows,
+                       title="Table 1 (reproduced) — bandwidth (Mbit/s)"))
+    return topology, measured
+
+
+def test_table1_network_matrix(benchmark):
+    topology, measured = benchmark.pedantic(
+        reproduce_table1, rounds=1, iterations=1)
+    for (a, b), (rtt, bw) in measured.items():
+        assert rtt == pytest.approx(topology.rtt_ms(a, b), rel=0.02)
+        # Bulk measurement slightly underestimates due to framing; a
+        # few percent tolerance mirrors iperf noise.
+        assert bw == pytest.approx(topology.bandwidth_mbit(a, b), rel=0.05)
+    # The paper's headline observations (§1.1):
+    local_rtts = [measured[(a, a)][0] for a in PAPER_REGIONS]
+    assert max(local_rtts) <= 1.01
+    assert measured[("belgium", "sydney")][0] > 250
+    assert measured[("oregon", "oregon")][1] > 50 * measured[
+        ("oregon", "sydney")][1]

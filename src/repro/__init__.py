@@ -1,0 +1,90 @@
+"""repro — a reproduction of *ResilientDB: Global Scale Resilient
+Blockchain Fabric* (Gupta, Rahnama, Hellings, Sadoghi; VLDB 2020).
+
+The package implements the GeoBFT consensus protocol, the ResilientDB
+ledger fabric around it, the four baseline protocols of the paper's
+evaluation (PBFT, Zyzzyva, HotStuff, Steward), and a deterministic
+geo-scale network simulation substrate seeded with the paper's own
+Table 1 measurements.
+
+Quick start::
+
+    from repro import ExperimentConfig, run_experiment
+
+    result = run_experiment(ExperimentConfig(
+        protocol="geobft", num_clusters=4, replicas_per_cluster=4,
+        batch_size=100, duration=5.0, warmup=1.0,
+    ))
+    print(result.describe())
+
+See ``examples/`` for runnable scenarios and ``benchmarks/`` for the
+scripts that regenerate every table and figure of the paper.
+"""
+
+from .bench.deployment import (
+    Deployment,
+    ExperimentConfig,
+    ExperimentResult,
+    run_experiment,
+)
+from .bench.charts import ascii_chart, bar_chart
+from .bench.metrics import Metrics
+from .bench.scenarios import apply_scenario
+from .bench.tracing import MessageTracer
+from .consensus.hotstuff import HotStuffReplica
+from .consensus.pbft import PbftConfig, PbftEngine, PbftReplica
+from .consensus.steward import StewardReplica
+from .consensus.zyzzyva import ZyzzyvaClient, ZyzzyvaReplica
+from .core.config import GeoBftConfig
+from .core.geobft import GeoBftReplica
+from .crypto.costs import CryptoCostModel
+from .crypto.signatures import KeyRegistry
+from .ledger.block import Transaction
+from .ledger.blockchain import Blockchain
+from .ledger.recovery import audit_ledger, rebuild_state, recover_from_peer
+from .net.simulator import Simulation
+from .net.topology import PAPER_REGIONS, Topology
+from .types import ClusterSpec, NodeId, client_id, max_faulty, replica_id
+from .workload.client import QuorumClient
+from .workload.ycsb import YcsbWorkload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Deployment",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "run_experiment",
+    "Metrics",
+    "apply_scenario",
+    "HotStuffReplica",
+    "PbftConfig",
+    "PbftEngine",
+    "PbftReplica",
+    "StewardReplica",
+    "ZyzzyvaClient",
+    "ZyzzyvaReplica",
+    "GeoBftConfig",
+    "GeoBftReplica",
+    "CryptoCostModel",
+    "KeyRegistry",
+    "Transaction",
+    "Blockchain",
+    "audit_ledger",
+    "rebuild_state",
+    "recover_from_peer",
+    "ascii_chart",
+    "bar_chart",
+    "MessageTracer",
+    "Simulation",
+    "PAPER_REGIONS",
+    "Topology",
+    "ClusterSpec",
+    "NodeId",
+    "client_id",
+    "max_faulty",
+    "replica_id",
+    "QuorumClient",
+    "YcsbWorkload",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Analysis helpers: Table 2 complexity formulas and traffic reports."""
+
+from .complexity import ComplexityRow, analytic_complexity, measured_complexity
+from .traffic import (
+    LinkUsage,
+    busiest_sender_region,
+    cross_region_totals,
+    format_link_report,
+    link_usage,
+)
+
+__all__ = [
+    "ComplexityRow",
+    "analytic_complexity",
+    "measured_complexity",
+    "LinkUsage",
+    "busiest_sender_region",
+    "cross_region_totals",
+    "format_link_report",
+    "link_usage",
+]

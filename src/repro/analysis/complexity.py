@@ -1,0 +1,81 @@
+"""Normal-case complexity analysis (paper Table 2).
+
+Table 2 compares, per consensus decision, the number of local and global
+messages each protocol exchanges in a system of ``z`` clusters with
+``n`` replicas each (``f`` faulty tolerated per cluster).  This module
+provides the analytic formulas and a helper that extracts the *measured*
+per-decision counts from an experiment run so the benchmark can print
+them side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..errors import ConfigurationError
+from ..types import max_faulty
+
+
+@dataclass(frozen=True)
+class ComplexityRow:
+    """One protocol's Table 2 row."""
+
+    protocol: str
+    decisions_per_round: int
+    local_messages: float
+    global_messages: float
+    centralized: str
+
+    def per_decision_local(self) -> float:
+        """Local messages normalized per consensus decision."""
+        return self.local_messages / self.decisions_per_round
+
+    def per_decision_global(self) -> float:
+        """Global messages normalized per consensus decision."""
+        return self.global_messages / self.decisions_per_round
+
+
+def analytic_complexity(protocol: str, z: int, n: int) -> ComplexityRow:
+    """Table 2's analytic formulas for ``z`` clusters of ``n`` replicas.
+
+    Counts are *leading order* message totals per GeoBFT-equivalent
+    round, matching the O(.) entries the paper reports:
+
+    * GeoBFT: ``z`` decisions; each cluster runs PBFT locally
+      (two all-to-all phases, ``2n^2``) and sends ``f + 1`` messages to
+      every other cluster, re-broadcast locally.
+    * PBFT: one decision per round over all ``zn`` replicas; the two
+      all-to-all phases cost ``2(zn)^2``, nearly all of it global.
+    * Zyzzyva: one decision, one ordered-request broadcast: ``zn``.
+    * HotStuff: one decision, 4 phases of linear leader traffic:
+      ``8 zn``.
+    * Steward: ``2zn^2`` local site agreement plus inter-site traffic
+      quadratic in the number of sites: ``z^2``.
+    """
+    f = max_faulty(n)
+    big_n = z * n
+    if protocol == "geobft":
+        local = 2 * z * n * n + z * (z - 1) * (f + 1) * n
+        global_ = z * (z - 1) * (f + 1)
+        return ComplexityRow("geobft", z, local, global_, "no")
+    if protocol == "pbft":
+        return ComplexityRow("pbft", 1, 0, 2 * big_n * big_n, "yes")
+    if protocol == "zyzzyva":
+        return ComplexityRow("zyzzyva", 1, 0, big_n, "yes")
+    if protocol == "hotstuff":
+        return ComplexityRow("hotstuff", 1, 0, 8 * big_n, "partly")
+    if protocol == "steward":
+        return ComplexityRow("steward", 1, 2 * z * n * n, z * z, "yes")
+    raise ConfigurationError(f"unknown protocol {protocol!r}")
+
+
+def measured_complexity(local_messages: int, global_messages: int,
+                        decisions: int) -> Dict[str, float]:
+    """Per-decision measured message counts from an experiment."""
+    if decisions <= 0:
+        return {"local_per_decision": 0.0, "global_per_decision": 0.0}
+    return {
+        "local_per_decision": local_messages / decisions,
+        "global_per_decision": global_messages / decisions,
+    }

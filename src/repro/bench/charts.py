@@ -1,0 +1,97 @@
+"""Plain-text charts for benchmark output.
+
+The paper presents its evaluation as line charts (Figures 10-13).  The
+benchmarks print the underlying series as tables; this module adds a
+terminal-friendly rendering so trends (who wins, where curves cross,
+what collapses) are visible at a glance in CI logs — no plotting
+dependency required.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+_GLYPHS = "ox+*#@%&"
+
+
+def _format_value(value: float) -> str:
+    if value >= 10_000:
+        return f"{value / 1000:.0f}k"
+    if value >= 1000:
+        return f"{value / 1000:.1f}k"
+    if value >= 10:
+        return f"{value:.0f}"
+    return f"{value:.2f}"
+
+
+def ascii_chart(title: str,
+                x_label: str,
+                x_values: Sequence,
+                series: Dict[str, Sequence[float]],
+                height: int = 12,
+                width: int = 64) -> str:
+    """Render one or more series as a scatter/line chart in ASCII.
+
+    Each series gets a glyph; points landing on the same cell show the
+    glyph of the last series drawn.  The y-axis is linear from 0 to the
+    maximum observed value.
+    """
+    if not series or not x_values:
+        return f"{title}\n(no data)"
+    max_y = max((max(values) for values in series.values() if values),
+                default=0.0)
+    if max_y <= 0:
+        max_y = 1.0
+    n_points = len(x_values)
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(i: int, value: float):
+        col = (0 if n_points == 1
+               else round(i * (width - 1) / (n_points - 1)))
+        row = height - 1 - round(value / max_y * (height - 1))
+        return max(0, min(height - 1, row)), max(0, min(width - 1, col))
+
+    for s_index, (name, values) in enumerate(series.items()):
+        glyph = _GLYPHS[s_index % len(_GLYPHS)]
+        for i, value in enumerate(values[:n_points]):
+            row, col = cell(i, value)
+            grid[row][col] = glyph
+
+    lines = [title]
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = _format_value(max_y)
+        elif r == height - 1:
+            label = "0"
+        else:
+            label = ""
+        lines.append(f"{label:>8} |{''.join(row)}|")
+    x_axis = " " * 9 + "+" + "-" * width + "+"
+    lines.append(x_axis)
+    first, last = str(x_values[0]), str(x_values[-1])
+    padding = max(1, width - len(first) - len(last))
+    lines.append(" " * 10 + first + " " * padding + last
+                 + f"   ({x_label})")
+    legend = "   ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(title: str, labels: Sequence[str],
+              values: Sequence[float], width: int = 48) -> str:
+    """Horizontal bar chart, one row per label."""
+    if not labels:
+        return f"{title}\n(no data)"
+    max_value = max(values) if values else 0.0
+    if max_value <= 0:
+        max_value = 1.0
+    label_width = max(len(str(label)) for label in labels)
+    lines = [title]
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, round(value / max_value * width))
+        lines.append(f"{str(label):>{label_width}} |{bar:<{width}}| "
+                     f"{_format_value(value)}")
+    return "\n".join(lines)

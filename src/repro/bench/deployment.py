@@ -1,0 +1,543 @@
+"""Deployment builder: turn an experiment config into a running system.
+
+This module is the reproduction's stand-in for the paper's testbed
+orchestration: it places ``z`` clusters of ``n`` replicas into the
+Table 1 regions (in the paper's deployment order), wires up the network,
+PKI, metrics, clients, and the chosen protocol, and runs the simulation
+for a configured duration.
+
+Protocol placement mirrors §4:
+
+* **PBFT / Zyzzyva** — one flat group; the primary is the first replica
+  of the first region (Oregon, the best-connected region).
+* **HotStuff** — one flat group; every replica leads its own instance;
+  clients submit to a home replica in their own region.
+* **Steward** — clusters; the primary cluster is Oregon; replicas run
+  with an inflated crypto cost model (RSA-era threshold primitives).
+* **GeoBFT** — clusters; each cluster runs its own primary; clients
+  talk only to their local cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..consensus.hotstuff import HotStuffReplica
+from ..consensus.pbft import PbftConfig, PbftReplica
+from ..consensus.steward import StewardReplica
+from ..consensus.zyzzyva import ZyzzyvaClient, ZyzzyvaReplica
+from ..core.config import GeoBftConfig
+from ..core.geobft import GeoBftReplica
+from ..crypto.costs import CryptoCostModel
+from ..crypto.signatures import KeyRegistry
+from ..errors import ConfigurationError
+from ..net.network import Network
+from ..net.simulator import Simulation
+from ..net.topology import Topology
+from ..types import ClusterId, NodeId, client_id, max_faulty, replica_id
+from ..workload.client import QuorumClient
+from ..workload.ycsb import YcsbWorkload
+from .metrics import Metrics
+
+PROTOCOLS = ("geobft", "pbft", "zyzzyva", "hotstuff", "steward")
+
+
+@dataclass
+class ExperimentConfig:
+    """Everything needed to reproduce one data point of the evaluation."""
+
+    protocol: str = "geobft"
+    num_clusters: int = 4
+    replicas_per_cluster: int = 7
+    #: Optional per-cluster sizes (length num_clusters), overriding
+    #: replicas_per_cluster.  GeoBFT and Steward support heterogeneous
+    #: clusters (§2.5); the flat protocols simply get the union.
+    cluster_sizes: Optional[List[int]] = None
+    batch_size: int = 100
+    clients_per_cluster: int = 4
+    client_outstanding: int = 8
+    duration: float = 10.0
+    warmup: float = 2.0
+    seed: int = 1
+    record_count: int = 10_000
+    write_fraction: float = 1.0
+    distribution: str = "zipfian"
+    pipeline_depth: int = 32
+    checkpoint_interval: int = 6
+    view_change_timeout: float = 2.0
+    client_retry_timeout: float = 6.0
+    zyzzyva_spec_timeout: float = 0.8
+    steward_crypto_factor: float = 50.0
+    hotstuff_pipeline: int = 16
+    cores: int = 4
+    #: Cheap structural signature checks (identical simulated-time cost
+    #: model, no host-CPU HMAC work) — used by benchmarks; correctness
+    #: tests run with real crypto.
+    fast_crypto: bool = False
+    geobft: GeoBftConfig = field(default_factory=GeoBftConfig)
+    costs: CryptoCostModel = field(default_factory=CryptoCostModel)
+    topology: Optional[Topology] = None
+    max_batches_per_client: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise ConfigurationError(
+                f"unknown protocol {self.protocol!r}; expected {PROTOCOLS}"
+            )
+        if self.num_clusters < 1:
+            raise ConfigurationError("num_clusters must be >= 1")
+        if self.replicas_per_cluster < 4:
+            raise ConfigurationError(
+                "replicas_per_cluster must be >= 4 (n > 3f)"
+            )
+        if self.cluster_sizes is not None:
+            if len(self.cluster_sizes) != self.num_clusters:
+                raise ConfigurationError(
+                    "cluster_sizes must list one size per cluster"
+                )
+            if any(size < 4 for size in self.cluster_sizes):
+                raise ConfigurationError(
+                    "every cluster needs >= 4 replicas (n > 3f)"
+                )
+        if self.warmup >= self.duration:
+            raise ConfigurationError("warmup must be shorter than duration")
+
+    def size_of_cluster(self, cluster: int) -> int:
+        """Replica count of ``cluster`` (1-based)."""
+        if self.cluster_sizes is not None:
+            return self.cluster_sizes[cluster - 1]
+        return self.replicas_per_cluster
+
+    def resolved_topology(self) -> Topology:
+        """The configured topology, defaulting to the paper's regions."""
+        if self.topology is not None:
+            return self.topology
+        return Topology.paper(self.num_clusters)
+
+
+@dataclass
+class ExperimentResult:
+    """Aggregated outcome of one run (one point in a figure)."""
+
+    protocol: str
+    num_clusters: int
+    replicas_per_cluster: int
+    batch_size: int
+    throughput_txn_s: float
+    avg_latency_s: float
+    p50_latency_s: float
+    completed_txns: int
+    duration: float
+    local_messages: int
+    global_messages: int
+    local_bytes: int
+    global_bytes: int
+    safety_ok: bool
+
+    def describe(self) -> str:
+        """One human-readable line, roughly a figure data point."""
+        return (
+            f"{self.protocol:>9}  z={self.num_clusters} "
+            f"n={self.replicas_per_cluster} batch={self.batch_size}  "
+            f"tput={self.throughput_txn_s:>10.0f} txn/s  "
+            f"lat={self.avg_latency_s:7.3f} s  safety={'ok' if self.safety_ok else 'VIOLATED'}"
+        )
+
+
+class _FastKeyRegistry(KeyRegistry):
+    """Structurally checked signatures for benchmark runs.
+
+    ``sign`` returns a constant tag and ``verify`` only checks that the
+    claimed signer is registered.  Simulated-time crypto *costs* are
+    unchanged (they come from the cost model), so performance results
+    are identical — only host CPU is saved.  Never use where tampering
+    is part of the test.
+    """
+
+    _TAG = b"fast-signature"
+
+    def register(self, node):
+        signer = super().register(node)
+        registry = self
+
+        class _FastSigner:
+            __slots__ = ("_node",)
+
+            def __init__(self, n):
+                self._node = n
+
+            @property
+            def node(self):
+                return self._node
+
+            def sign(self, payload):
+                from ..crypto.signatures import Signature
+                return Signature(self._node, registry._TAG)
+
+        return _FastSigner(signer.node)
+
+    def verify(self, payload, signature) -> bool:
+        return (signature.tag == self._TAG
+                and self.is_registered(signature.signer))
+
+
+class Deployment:
+    """A built, runnable system: simulator, network, replicas, clients."""
+
+    def __init__(self, config: ExperimentConfig):
+        self.config = config
+        self.topology = config.resolved_topology()
+        if len(self.topology.regions) < config.num_clusters:
+            raise ConfigurationError(
+                "topology has fewer regions than requested clusters"
+            )
+        self.sim = Simulation(seed=config.seed)
+        self.metrics = Metrics(warmup=config.warmup)
+        self.network = Network(self.sim, self.topology)
+        self.network.add_observer(self.metrics.network_observer)
+        if config.fast_crypto:
+            self.registry: KeyRegistry = _FastKeyRegistry()
+        else:
+            self.registry = KeyRegistry()
+
+        self.cluster_members: Dict[ClusterId, List[NodeId]] = {}
+        self.replicas: Dict[NodeId, object] = {}
+        self.clients: List[object] = []
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _region_of(self, cluster: ClusterId) -> str:
+        return self.topology.regions[cluster - 1]
+
+    def _build(self) -> None:
+        cfg = self.config
+        for c in range(1, cfg.num_clusters + 1):
+            self.cluster_members[c] = [
+                replica_id(c, i)
+                for i in range(1, cfg.size_of_cluster(c) + 1)
+            ]
+        builder = {
+            "geobft": self._build_geobft,
+            "pbft": self._build_pbft,
+            "zyzzyva": self._build_zyzzyva,
+            "hotstuff": self._build_hotstuff,
+            "steward": self._build_steward,
+        }[cfg.protocol]
+        builder()
+        region_map = {node: replica.region
+                      for node, replica in self.replicas.items()}
+        region_map.update(
+            {client.node_id: client.region for client in self.clients})
+        self.metrics.set_region_map(region_map)
+
+    def _flat_members(self) -> List[NodeId]:
+        """All replicas, Oregon (cluster 1) first — so the flat primary
+        lands in the best-connected region, as in §4."""
+        members: List[NodeId] = []
+        for c in sorted(self.cluster_members):
+            members.extend(self.cluster_members[c])
+        return members
+
+    def _workload(self, salt: int) -> YcsbWorkload:
+        cfg = self.config
+        return YcsbWorkload(
+            record_count=cfg.record_count,
+            write_fraction=cfg.write_fraction,
+            distribution=cfg.distribution,
+            seed=cfg.seed * 7919 + salt,
+        )
+
+    def _pbft_config(self) -> PbftConfig:
+        cfg = self.config
+        return PbftConfig(
+            pipeline_depth=cfg.pipeline_depth,
+            checkpoint_interval=cfg.checkpoint_interval,
+            view_change_timeout=cfg.view_change_timeout,
+        )
+
+    def _make_quorum_clients(self, primary_for, fallback_for,
+                             quorum_for) -> None:
+        """Create ``clients_per_cluster`` clients per cluster.
+
+        The three callables map a cluster id to that cluster's clients'
+        primary targets, fallback targets, and reply quorum.
+        """
+        cfg = self.config
+        salt = 0
+        for c in sorted(self.cluster_members):
+            for j in range(1, cfg.clients_per_cluster + 1):
+                salt += 1
+                cid = client_id(c, j)
+                client = QuorumClient(
+                    node_id=cid,
+                    region=self._region_of(c),
+                    sim=self.sim,
+                    network=self.network,
+                    registry=self.registry,
+                    workload=self._workload(salt),
+                    batch_size=cfg.batch_size,
+                    primary_targets=primary_for(c, j),
+                    fallback_targets=fallback_for(c, j),
+                    reply_quorum=quorum_for(c, j),
+                    outstanding=cfg.client_outstanding,
+                    retry_timeout=cfg.client_retry_timeout,
+                    max_batches=cfg.max_batches_per_client,
+                    metrics=self.metrics,
+                )
+                self.clients.append(client)
+
+    def _build_geobft(self) -> None:
+        import dataclasses
+
+        cfg = self.config
+        # The experiment-level PBFT knobs (pipeline depth, checkpoint
+        # interval, view-change timeout) override the nested default.
+        geo_cfg = dataclasses.replace(cfg.geobft, pbft=self._pbft_config())
+        schemes = None
+        if geo_cfg.threshold_certificates:
+            from ..crypto.threshold import ThresholdScheme
+            from ..types import max_faulty as _max_faulty
+            schemes = {
+                c: ThresholdScheme(
+                    f"cluster-{c}", members,
+                    k=len(members) - _max_faulty(len(members)),
+                )
+                for c, members in self.cluster_members.items()
+            }
+        for c, members in self.cluster_members.items():
+            for node in members:
+                self.replicas[node] = GeoBftReplica(
+                    node_id=node,
+                    region=self._region_of(c),
+                    sim=self.sim,
+                    network=self.network,
+                    registry=self.registry,
+                    cluster_members=self.cluster_members,
+                    config=geo_cfg,
+                    costs=cfg.costs,
+                    cores=cfg.cores,
+                    record_count=cfg.record_count,
+                    metrics=self.metrics,
+                    threshold_schemes=schemes,
+                )
+        self._make_quorum_clients(
+            primary_for=lambda c, j: [self.cluster_members[c][0]],
+            fallback_for=lambda c, j: list(self.cluster_members[c]),
+            quorum_for=lambda c, j: max_faulty(
+                len(self.cluster_members[c])) + 1,
+        )
+
+    def _build_pbft(self) -> None:
+        cfg = self.config
+        members = self._flat_members()
+        for c, cluster in self.cluster_members.items():
+            for node in cluster:
+                self.replicas[node] = PbftReplica(
+                    node_id=node,
+                    region=self._region_of(c),
+                    sim=self.sim,
+                    network=self.network,
+                    registry=self.registry,
+                    members=members,
+                    config=self._pbft_config(),
+                    costs=cfg.costs,
+                    cores=cfg.cores,
+                    record_count=cfg.record_count,
+                    metrics=self.metrics,
+                )
+        big_f = max_faulty(len(members))
+        self._make_quorum_clients(
+            primary_for=lambda c, j: [members[0]],
+            fallback_for=lambda c, j: list(members),
+            quorum_for=lambda c, j: big_f + 1,
+        )
+
+    def _build_zyzzyva(self) -> None:
+        cfg = self.config
+        members = self._flat_members()
+        for c, cluster in self.cluster_members.items():
+            for node in cluster:
+                self.replicas[node] = ZyzzyvaReplica(
+                    node_id=node,
+                    region=self._region_of(c),
+                    sim=self.sim,
+                    network=self.network,
+                    registry=self.registry,
+                    members=members,
+                    costs=cfg.costs,
+                    cores=cfg.cores,
+                    record_count=cfg.record_count,
+                    metrics=self.metrics,
+                )
+        salt = 10_000
+        for c in sorted(self.cluster_members):
+            for j in range(1, cfg.clients_per_cluster + 1):
+                salt += 1
+                cid = client_id(c, j)
+                client = ZyzzyvaClient(
+                    node_id=cid,
+                    region=self._region_of(c),
+                    sim=self.sim,
+                    network=self.network,
+                    registry=self.registry,
+                    workload=self._workload(salt),
+                    batch_size=cfg.batch_size,
+                    members=members,
+                    outstanding=cfg.client_outstanding,
+                    spec_timeout=cfg.zyzzyva_spec_timeout,
+                    max_batches=cfg.max_batches_per_client,
+                    metrics=self.metrics,
+                )
+                self.clients.append(client)
+
+    def _build_hotstuff(self) -> None:
+        cfg = self.config
+        members = self._flat_members()
+        for c, cluster in self.cluster_members.items():
+            for node in cluster:
+                self.replicas[node] = HotStuffReplica(
+                    node_id=node,
+                    region=self._region_of(c),
+                    sim=self.sim,
+                    network=self.network,
+                    registry=self.registry,
+                    members=members,
+                    pipeline_depth=cfg.hotstuff_pipeline,
+                    costs=cfg.costs,
+                    cores=cfg.cores,
+                    record_count=cfg.record_count,
+                    metrics=self.metrics,
+                )
+        big_f = max_faulty(len(members))
+        self._make_quorum_clients(
+            # Home replica: round-robin within the client's own region.
+            primary_for=lambda c, j: [
+                self.cluster_members[c][
+                    (j - 1) % len(self.cluster_members[c])]
+            ],
+            fallback_for=lambda c, j: list(self.cluster_members[c]),
+            quorum_for=lambda c, j: big_f + 1,
+        )
+
+    def _build_steward(self) -> None:
+        cfg = self.config
+        steward_costs = cfg.costs.scaled(cfg.steward_crypto_factor)
+        for c, cluster in self.cluster_members.items():
+            for node in cluster:
+                self.replicas[node] = StewardReplica(
+                    node_id=node,
+                    region=self._region_of(c),
+                    sim=self.sim,
+                    network=self.network,
+                    registry=self.registry,
+                    cluster_members=self.cluster_members,
+                    primary_cluster=1,
+                    config=self._pbft_config(),
+                    costs=steward_costs,
+                    cores=cfg.cores,
+                    record_count=cfg.record_count,
+                    metrics=self.metrics,
+                )
+        self._make_quorum_clients(
+            primary_for=lambda c, j: [self.cluster_members[c][0]],
+            fallback_for=lambda c, j: list(self.cluster_members[c]),
+            quorum_for=lambda c, j: max_faulty(
+                len(self.cluster_members[c])) + 1,
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self) -> ExperimentResult:
+        """Start the clients, run the clock out, and aggregate results."""
+        for client in self.clients:
+            self.sim.schedule(0.0, client.start)
+        self.sim.run(until=self.config.duration)
+        self.metrics.finish(self.sim.now)
+        return ExperimentResult(
+            protocol=self.config.protocol,
+            num_clusters=self.config.num_clusters,
+            replicas_per_cluster=self.config.replicas_per_cluster,
+            batch_size=self.config.batch_size,
+            throughput_txn_s=self.metrics.throughput_txn_s(),
+            avg_latency_s=self.metrics.avg_latency_s(),
+            p50_latency_s=self.metrics.p50_latency_s(),
+            completed_txns=self.metrics.completed_txns,
+            duration=self.sim.now,
+            local_messages=self.metrics.local_messages,
+            global_messages=self.metrics.global_messages,
+            local_bytes=self.metrics.local_bytes,
+            global_bytes=self.metrics.global_bytes,
+            safety_ok=self.check_safety(),
+        )
+
+    # ------------------------------------------------------------------
+    # Safety auditing (Theorem 2.8)
+    # ------------------------------------------------------------------
+    def check_safety(self) -> bool:
+        """Audit non-divergence across all non-crashed replicas.
+
+        For the sequentially ordered protocols the whole ledgers must be
+        prefix-comparable; for HotStuff (unsynchronized parallel
+        instances) each instance's block subsequence must match.
+        """
+        alive = [
+            replica for node, replica in self.replicas.items()
+            if not self.network.failures.is_crashed(node)
+        ]
+        if len(alive) < 2:
+            return True
+        for replica in alive:
+            # Chain-structure audit; the deep content audit is exercised
+            # by the test suite where tampering actually occurs.
+            replica.ledger.verify(deep=False)
+        if self.config.protocol == "hotstuff":
+            return self._check_hotstuff_safety(alive)
+        reference = max(alive, key=lambda r: r.ledger.height)
+        return all(
+            replica.ledger.matches_prefix_of(reference.ledger)
+            for replica in alive
+        )
+
+    @staticmethod
+    def _check_hotstuff_safety(alive) -> bool:
+        per_instance: Dict[int, List[List[bytes]]] = {}
+        for replica in alive:
+            seqs: Dict[int, List[bytes]] = {}
+            for block in replica.ledger:
+                seqs.setdefault(block.cluster_id, []).append(
+                    block.block_hash()
+                )
+            for instance, chain in seqs.items():
+                per_instance.setdefault(instance, []).append(chain)
+        for chains in per_instance.values():
+            longest = max(chains, key=len)
+            for chain in chains:
+                # Block hashes chain through prev_hash, which differs per
+                # replica ordering; compare batch identity instead.
+                if len(chain) > len(longest):
+                    return False
+        # Compare batch digests per instance position.
+        digests: Dict[int, List[List[tuple]]] = {}
+        for replica in alive:
+            seqs2: Dict[int, List[tuple]] = {}
+            for block in replica.ledger:
+                seqs2.setdefault(block.cluster_id, []).append(
+                    tuple(txn.txn_id for txn in block.batch)
+                )
+            for instance, chain in seqs2.items():
+                digests.setdefault(instance, []).append(chain)
+        for chains in digests.values():
+            longest = max(chains, key=len)
+            for chain in chains:
+                if chain != longest[: len(chain)]:
+                    return False
+        return True
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Build and run one experiment (the harness's main entry point)."""
+    return Deployment(config).run()

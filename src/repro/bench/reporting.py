@@ -1,0 +1,82 @@
+"""Plain-text reporting of reproduced tables and figures.
+
+The benchmark harness prints the same rows/series the paper reports:
+Table 1's latency/bandwidth matrix, Table 2's complexity comparison, and
+the throughput/latency series of Figures 10–13.  Everything is plain
+monospace text so results are diffable and readable in CI logs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from .deployment import ExperimentResult
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str = "") -> str:
+    """Render an aligned monospace table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.rjust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_figure_series(title: str, x_label: str,
+                         x_values: Sequence,
+                         series: Dict[str, Sequence[float]],
+                         unit: str) -> str:
+    """Render one paper figure as a table: protocols x sweep values."""
+    headers = [x_label] + list(series.keys())
+    rows: List[List] = []
+    for i, x in enumerate(x_values):
+        row: List = [x]
+        for name in series:
+            values = series[name]
+            row.append(values[i] if i < len(values) else float("nan"))
+        rows.append(row)
+    return format_table(headers, rows, title=f"{title}  [{unit}]")
+
+
+def summarize_results(results: Iterable[ExperimentResult]) -> str:
+    """Render a list of experiment results as a comparison table."""
+    headers = ["protocol", "z", "n", "batch", "tput (txn/s)",
+               "avg lat (s)", "global msgs", "global MB", "safety"]
+    rows = [
+        [
+            r.protocol,
+            r.num_clusters,
+            r.replicas_per_cluster,
+            r.batch_size,
+            r.throughput_txn_s,
+            r.avg_latency_s,
+            r.global_messages,
+            r.global_bytes / 1e6,
+            "ok" if r.safety_ok else "VIOLATED",
+        ]
+        for r in results
+    ]
+    return format_table(headers, rows)

@@ -1,0 +1,73 @@
+"""Failure scenarios of the evaluation (paper §4.3).
+
+Three scenarios are measured in Figure 12:
+
+* ``one_backup``  — a single non-primary replica crashes.
+* ``f_backups``   — ``f`` non-primary replicas crash in *every* cluster
+  (the worst case GeoBFT and Steward are designed for; within the flat
+  protocols' tolerance per Remark 2.1).
+* ``primary``     — one primary crashes mid-run, forcing a view change
+  (the Oregon cluster's primary for GeoBFT, the global primary for
+  PBFT).
+
+Scenarios are applied to a built :class:`~repro.bench.deployment.
+Deployment` before (or during) the run; they only touch the failure
+model, never protocol state.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import ConfigurationError
+from ..types import NodeId
+from .deployment import Deployment
+
+SCENARIOS = ("none", "one_backup", "f_backups", "primary")
+
+
+def _non_primary_victims(deployment: Deployment) -> List[NodeId]:
+    """The last ``f`` replicas of each cluster (per-cluster fault
+    bound) — never index 1, so no initial primary (local or global) is
+    selected."""
+    victims: List[NodeId] = []
+    for members in deployment.cluster_members.values():
+        f_cluster = (len(members) - 1) // 3
+        if f_cluster >= len(members):
+            raise ConfigurationError(
+                "cannot crash an entire cluster and stay within n > 3f"
+            )
+        if f_cluster > 0:
+            victims.extend(members[-f_cluster:])
+    return victims
+
+
+def apply_scenario(deployment: Deployment, scenario: str,
+                   fail_at: float = 0.0) -> List[NodeId]:
+    """Arrange the scenario's crashes; returns the victims.
+
+    ``fail_at`` schedules the crash at a simulated time (used by the
+    primary-failure experiment, which fails the primary mid-run after a
+    committed prefix exists); ``0.0`` crashes immediately.
+    """
+    if scenario not in SCENARIOS:
+        raise ConfigurationError(
+            f"unknown scenario {scenario!r}; expected one of {SCENARIOS}"
+        )
+    if scenario == "none":
+        return []
+    if scenario == "one_backup":
+        last_cluster = max(deployment.cluster_members)
+        victims = [deployment.cluster_members[last_cluster][-1]]
+    elif scenario == "f_backups":
+        victims = _non_primary_victims(deployment)
+    else:  # primary
+        victims = [deployment.cluster_members[1][0]]
+    failures = deployment.network.failures
+    if fail_at <= 0.0:
+        for victim in victims:
+            failures.crash(victim)
+    else:
+        for victim in victims:
+            deployment.sim.schedule(fail_at, failures.crash, victim)
+    return victims

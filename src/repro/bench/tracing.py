@@ -1,0 +1,128 @@
+"""Structured event tracing for deployments.
+
+A :class:`MessageTracer` attaches to a network as a send observer and
+records a bounded, filterable log of protocol traffic.  It exists for
+debugging, for the failure-resilience example's narrative output, and
+for tests that assert on *when* and *where* specific messages flowed
+(e.g. "the remote view change fired before the new primary's resend").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Type
+
+from ..net.network import Network
+from ..types import NodeId
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded send."""
+
+    time: float
+    kind: str
+    src: NodeId
+    dst: NodeId
+    size_bytes: int
+    is_local: bool
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        scope = "local " if self.is_local else "global"
+        return (f"[{self.time:10.6f}] {scope} {self.kind:<22} "
+                f"{str(self.src):>6} -> {str(self.dst):<6} "
+                f"({self.size_bytes} B)")
+
+
+class MessageTracer:
+    """Bounded send log with type filtering.
+
+    Usage::
+
+        tracer = MessageTracer.attach(deployment.network,
+                                      kinds=(GlobalShare, Rvc))
+        ...run...
+        for event in tracer.events:
+            print(event)
+    """
+
+    def __init__(self, network: Network,
+                 kinds: Optional[Iterable[Type]] = None,
+                 max_events: int = 100_000,
+                 predicate: Optional[Callable[..., bool]] = None):
+        self._network = network
+        self._kinds = tuple(kinds) if kinds is not None else None
+        self._max_events = max_events
+        self._predicate = predicate
+        self._events: List[TraceEvent] = []
+        self._dropped = 0
+
+    @classmethod
+    def attach(cls, network: Network,
+               kinds: Optional[Iterable[Type]] = None,
+               max_events: int = 100_000,
+               predicate: Optional[Callable[..., bool]] = None,
+               ) -> "MessageTracer":
+        """Create a tracer and register it with ``network``."""
+        tracer = cls(network, kinds=kinds, max_events=max_events,
+                     predicate=predicate)
+        network.add_observer(tracer._observe)
+        return tracer
+
+    def _observe(self, src: NodeId, dst: NodeId, message, size: int,
+                 is_local: bool) -> None:
+        if self._kinds is not None and not isinstance(message, self._kinds):
+            return
+        if self._predicate is not None and not self._predicate(
+                src, dst, message):
+            return
+        if len(self._events) >= self._max_events:
+            self._dropped += 1
+            return
+        self._events.append(TraceEvent(
+            time=self._network.simulation.now,
+            kind=type(message).__name__,
+            src=src,
+            dst=dst,
+            size_bytes=size,
+            is_local=is_local,
+        ))
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """All recorded events, in send order."""
+        return list(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Events not recorded because the buffer was full."""
+        return self._dropped
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        """Events whose message type name is ``kind``."""
+        return [e for e in self._events if e.kind == kind]
+
+    def between(self, src_cluster: int, dst_cluster: int) -> List[TraceEvent]:
+        """Events sent from one cluster to another."""
+        return [
+            e for e in self._events
+            if e.src.cluster == src_cluster and e.dst.cluster == dst_cluster
+        ]
+
+    def first_time_of(self, kind: str) -> Optional[float]:
+        """Time of the first event of ``kind``, or ``None``."""
+        for event in self._events:
+            if event.kind == kind:
+                return event.time
+        return None
+
+    def summary(self) -> str:
+        """Per-kind counts, one line per message type."""
+        counts = {}
+        for event in self._events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        lines = [f"{kind}: {count}"
+                 for kind, count in sorted(counts.items())]
+        if self._dropped:
+            lines.append(f"(dropped {self._dropped} events)")
+        return "\n".join(lines)

@@ -1,0 +1,189 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run``      — run one experiment and print its result line.
+* ``compare``  — run several protocols on the same deployment and print
+  a comparison table.
+* ``table1``   — print the Table 1 topology matrix the simulator uses.
+* ``table2``   — print the Table 2 analytic complexity comparison.
+
+All output is plain text; every run is deterministic per ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.complexity import analytic_complexity
+from .bench.deployment import PROTOCOLS, ExperimentConfig, run_experiment
+from .bench.reporting import format_table, summarize_results
+from .bench.scenarios import SCENARIOS
+from .net.topology import PAPER_REGIONS, Topology
+
+
+def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--clusters", "-z", type=int, default=2,
+                        help="number of regions/clusters (1-6)")
+    parser.add_argument("--replicas", "-n", type=int, default=4,
+                        help="replicas per cluster (>= 4)")
+    parser.add_argument("--batch", "-b", type=int, default=100,
+                        help="transactions per batch")
+    parser.add_argument("--duration", "-d", type=float, default=3.0,
+                        help="simulated seconds")
+    parser.add_argument("--warmup", "-w", type=float, default=0.5,
+                        help="simulated warmup excluded from rates")
+    parser.add_argument("--clients", type=int, default=4,
+                        help="clients per cluster")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="deterministic experiment seed")
+    parser.add_argument("--scenario", choices=SCENARIOS, default="none",
+                        help="failure scenario to apply")
+    parser.add_argument("--real-crypto", action="store_true",
+                        help="verify real HMAC signatures (slower host "
+                             "run, identical simulated results)")
+
+
+def _config_from_args(args, protocol: str) -> ExperimentConfig:
+    return ExperimentConfig(
+        protocol=protocol,
+        num_clusters=args.clusters,
+        replicas_per_cluster=args.replicas,
+        batch_size=args.batch,
+        clients_per_cluster=args.clients,
+        duration=args.duration,
+        warmup=args.warmup,
+        seed=args.seed,
+        fast_crypto=not args.real_crypto,
+    )
+
+
+def _cmd_run(args) -> int:
+    from .bench.deployment import Deployment
+    from .bench.scenarios import apply_scenario
+
+    deployment = Deployment(_config_from_args(args, args.protocol))
+    if args.scenario != "none":
+        victims = apply_scenario(deployment, args.scenario,
+                                 fail_at=args.fail_at)
+        print(f"scenario {args.scenario}: crashing "
+              f"{', '.join(str(v) for v in victims)}"
+              + (f" at t={args.fail_at}s" if args.fail_at else ""))
+    result = deployment.run()
+    print(result.describe())
+    print(f"  global: {result.global_messages} msgs / "
+          f"{result.global_bytes / 1e6:.2f} MB   "
+          f"local: {result.local_messages} msgs / "
+          f"{result.local_bytes / 1e6:.2f} MB")
+    if args.traffic:
+        from .analysis.traffic import format_link_report, link_usage
+        rows = link_usage(deployment.metrics, deployment.topology,
+                          window=result.duration)
+        print("\nper-link traffic (heaviest first):")
+        print(format_link_report(rows))
+    return 0 if result.safety_ok else 1
+
+
+def _cmd_compare(args) -> int:
+    results = []
+    for protocol in args.protocols:
+        results.append(run_experiment(_config_from_args(args, protocol)))
+    print(summarize_results(results))
+    return 0 if all(r.safety_ok for r in results) else 1
+
+
+def _cmd_table1(_args) -> int:
+    topology = Topology.paper(6)
+    header = ["region"] + [r[:3].upper() for r in PAPER_REGIONS]
+    rtt_rows, bw_rows = [], []
+    for i, a in enumerate(PAPER_REGIONS):
+        rtt_row, bw_row = [a], [a]
+        for j, b in enumerate(PAPER_REGIONS):
+            if j < i:
+                rtt_row.append("")
+                bw_row.append("")
+            else:
+                rtt_row.append(round(topology.rtt_ms(a, b), 1))
+                bw_row.append(round(topology.bandwidth_mbit(a, b)))
+        rtt_rows.append(rtt_row)
+        bw_rows.append(bw_row)
+    print(format_table(header, rtt_rows,
+                       title="Table 1 — ping round-trip times (ms)"))
+    print()
+    print(format_table(header, bw_rows,
+                       title="Table 1 — bandwidth (Mbit/s)"))
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    rows = []
+    for protocol in PROTOCOLS:
+        row = analytic_complexity(protocol, args.clusters, args.replicas)
+        rows.append([
+            protocol,
+            row.decisions_per_round,
+            round(row.per_decision_local()),
+            round(row.per_decision_global()),
+            row.centralized,
+        ])
+    print(format_table(
+        ["protocol", "decisions/round", "local msgs/decision",
+         "global msgs/decision", "centralized"],
+        rows,
+        title=f"Table 2 — analytic complexity, z={args.clusters}, "
+              f"n={args.replicas}",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ResilientDB/GeoBFT (VLDB 2020) reproduction toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = commands.add_parser(
+        "run", help="run one experiment")
+    run_parser.add_argument("--protocol", "-p", choices=PROTOCOLS,
+                            default="geobft")
+    run_parser.add_argument("--fail-at", type=float, default=0.0,
+                            help="schedule scenario crashes at this "
+                                 "simulated time")
+    run_parser.add_argument("--traffic", action="store_true",
+                            help="print per-region-link traffic report")
+    _add_experiment_args(run_parser)
+    run_parser.set_defaults(handler=_cmd_run)
+
+    compare_parser = commands.add_parser(
+        "compare", help="run several protocols on one deployment")
+    compare_parser.add_argument(
+        "--protocols", type=lambda s: s.split(","),
+        default=list(PROTOCOLS),
+        help="comma-separated protocol list")
+    _add_experiment_args(compare_parser)
+    compare_parser.set_defaults(handler=_cmd_compare)
+
+    table1_parser = commands.add_parser(
+        "table1", help="print the Table 1 WAN matrix")
+    table1_parser.set_defaults(handler=_cmd_table1)
+
+    table2_parser = commands.add_parser(
+        "table2", help="print the Table 2 complexity comparison")
+    table2_parser.add_argument("--clusters", "-z", type=int, default=4)
+    table2_parser.add_argument("--replicas", "-n", type=int, default=7)
+    table2_parser.set_defaults(handler=_cmd_table2)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""GeoBFT — the paper's primary contribution.
+
+Exports the replica, its configuration, and the supporting sub-protocol
+implementations (global sharing lives inside the replica; ordering and
+remote view change are standalone, unit-testable components).
+"""
+
+from .config import (
+    SHARING_ALL,
+    SHARING_OPTIMISTIC,
+    SHARING_SINGLE,
+    GeoBftConfig,
+)
+from .geobft import GeoBftReplica
+from .ordering import OrderingBuffer
+from .remote_view_change import RemoteViewChangeManager
+
+__all__ = [
+    "SHARING_ALL",
+    "SHARING_OPTIMISTIC",
+    "SHARING_SINGLE",
+    "GeoBftConfig",
+    "GeoBftReplica",
+    "OrderingBuffer",
+    "RemoteViewChangeManager",
+]

@@ -1,0 +1,92 @@
+"""SHA256 message digests over a canonical encoding.
+
+ResilientDB uses SHA256 to produce collision-resistant digests of client
+requests and protocol messages (paper §3).  The protocols in this library
+sign and compare digests rather than whole payloads, exactly as the real
+system does.
+
+Payloads are arbitrary trees of Python primitives (ints, strings, bytes,
+bools, ``None``, tuples/lists, dicts with string keys).  They are encoded
+canonically so that two structurally equal payloads always hash to the
+same digest, regardless of dict insertion order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+from ..errors import CryptoError
+
+DIGEST_SIZE = 32
+
+
+def _encode(value: Any, out: list[bytes]) -> None:
+    """Append a canonical, unambiguous encoding of ``value`` to ``out``."""
+    if value is None:
+        out.append(b"N")
+    elif value is True:
+        out.append(b"T")
+    elif value is False:
+        out.append(b"F")
+    elif isinstance(value, int):
+        body = str(value).encode()
+        out.append(b"i" + str(len(body)).encode() + b":" + body)
+    elif isinstance(value, float):
+        body = repr(value).encode()
+        out.append(b"f" + str(len(body)).encode() + b":" + body)
+    elif isinstance(value, str):
+        body = value.encode()
+        out.append(b"s" + str(len(body)).encode() + b":" + body)
+    elif isinstance(value, bytes):
+        out.append(b"b" + str(len(value)).encode() + b":" + value)
+    elif isinstance(value, (tuple, list)):
+        out.append(b"l" + str(len(value)).encode() + b":")
+        for item in value:
+            _encode(item, out)
+        out.append(b";")
+    elif isinstance(value, dict):
+        out.append(b"d" + str(len(value)).encode() + b":")
+        try:
+            keys = sorted(value)
+        except TypeError as exc:
+            raise CryptoError(f"dict keys must be sortable: {exc}") from exc
+        for key in keys:
+            _encode(key, out)
+            _encode(value[key], out)
+        out.append(b";")
+    elif hasattr(value, "payload"):
+        # Protocol messages expose ``payload()`` returning primitives.
+        _encode(value.payload(), out)
+    else:
+        raise CryptoError(
+            f"cannot canonically encode value of type {type(value).__name__}"
+        )
+
+
+def encode_canonical(value: Any) -> bytes:
+    """Return the canonical byte encoding of ``value``.
+
+    The encoding is injective on the supported value space: distinct
+    payloads never encode to the same bytes (lengths are explicit, types
+    are tagged), so ``digest`` collisions reduce to SHA256 collisions.
+    """
+    out: list[bytes] = []
+    _encode(value, out)
+    return b"".join(out)
+
+
+def digest(data: bytes) -> bytes:
+    """SHA256 digest of raw bytes."""
+    return hashlib.sha256(data).digest()
+
+
+def digest_of(value: Any) -> bytes:
+    """SHA256 digest of the canonical encoding of ``value``.
+
+    >>> digest_of({"a": 1, "b": 2}) == digest_of({"b": 2, "a": 1})
+    True
+    >>> digest_of((1, 2)) == digest_of((1, "2"))
+    False
+    """
+    return digest(encode_canonical(value))

@@ -1,0 +1,129 @@
+"""Digital signatures with a PKI-style key registry.
+
+The paper signs client requests and commit messages with ED25519
+(paper §3) so that forwarded messages cannot be tampered with.  This
+module provides the same guarantees for the simulation:
+
+* every node owns a private signing key (a random 32-byte secret),
+* anyone holding the :class:`KeyRegistry` (the "PKI") can verify a
+  signature against the claimed signer,
+* nobody can produce a signature for another node without that node's
+  :class:`Signer` handle — Byzantine behaviours in tests can only sign as
+  themselves, mirroring the paper's authenticated-communication
+  assumption (§2.1).
+
+Signatures are HMAC-SHA256 tags computed with the signer's secret.  The
+registry verifies by recomputing the tag; this models signature
+verification with the signer's public key.  HMAC is used instead of real
+ED25519 to keep the simulator fast while preserving unforgeability
+against everyone who does not hold the secret.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from ..errors import CryptoError, InvalidSignatureError
+from ..types import NodeId
+from .digests import encode_canonical
+
+SIGNATURE_SIZE = 64  # bytes on the wire, matching ED25519.
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A digital signature: the claimed signer plus the tag bytes."""
+
+    signer: NodeId
+    tag: bytes
+
+    def size_bytes(self) -> int:
+        """Wire size of the signature (ED25519-sized)."""
+        return SIGNATURE_SIZE
+
+
+class Signer:
+    """A node's private signing handle.
+
+    Instances are created by :meth:`KeyRegistry.register` and handed to
+    exactly one node.  Holding a ``Signer`` is holding the private key.
+    """
+
+    __slots__ = ("_node", "_secret")
+
+    def __init__(self, node: NodeId, secret: bytes):
+        self._node = node
+        self._secret = secret
+
+    @property
+    def node(self) -> NodeId:
+        """The identity this signer signs as."""
+        return self._node
+
+    def sign(self, payload: Any) -> Signature:
+        """Sign ``payload`` (any canonically encodable value)."""
+        message = encode_canonical((str(self._node), payload))
+        tag = hmac.new(self._secret, message, hashlib.sha256).digest()
+        return Signature(self._node, tag)
+
+
+class KeyRegistry:
+    """The public-key infrastructure of a deployment.
+
+    The registry creates key pairs (:meth:`register`) and verifies
+    signatures (:meth:`verify`).  In a real deployment verification only
+    needs public keys; here the registry holds the secrets but never
+    exposes them, so protocol code cannot forge signatures by accident
+    and Byzantine test behaviours cannot forge them at all.
+    """
+
+    def __init__(self, seed: bytes = b"resilientdb"):
+        self._seed = seed
+        self._secrets: Dict[NodeId, bytes] = {}
+
+    def register(self, node: NodeId) -> Signer:
+        """Create (or re-derive) the signing handle for ``node``.
+
+        Keys are derived deterministically from the registry seed so that
+        deployments built from the same configuration are reproducible.
+        """
+        if node not in self._secrets:
+            material = self._seed + encode_canonical(str(node))
+            self._secrets[node] = hashlib.sha256(material).digest()
+        return Signer(node, self._secrets[node])
+
+    def is_registered(self, node: NodeId) -> bool:
+        """Whether ``node`` has a key pair in this PKI."""
+        return node in self._secrets
+
+    def verify(self, payload: Any, signature: Signature) -> bool:
+        """Check ``signature`` over ``payload`` against the claimed signer.
+
+        Returns ``False`` (never raises) for unknown signers or bad tags,
+        matching the paper's rule that replicas silently discard messages
+        with invalid signatures.
+        """
+        secret = self._secrets.get(signature.signer)
+        if secret is None:
+            return False
+        message = encode_canonical((str(signature.signer), payload))
+        expected = hmac.new(secret, message, hashlib.sha256).digest()
+        return hmac.compare_digest(expected, signature.tag)
+
+    def require_valid(self, payload: Any, signature: Signature) -> None:
+        """Like :meth:`verify` but raises :class:`InvalidSignatureError`."""
+        if not self.verify(payload, signature):
+            raise InvalidSignatureError(
+                f"invalid signature claimed by {signature.signer}"
+            )
+
+    def signer_secret_fingerprint(self, node: NodeId) -> bytes:
+        """Digest of a node's secret — used only by tests for determinism
+        checks; the secret itself is never exposed."""
+        secret = self._secrets.get(node)
+        if secret is None:
+            raise CryptoError(f"no key registered for {node}")
+        return hashlib.sha256(secret).digest()

@@ -1,0 +1,141 @@
+"""(k, n) threshold signatures.
+
+The paper notes (§2.2, §4) that GeoBFT can *optionally* represent the
+``n - f`` commit-message signatures of a commit certificate by a single
+constant-size threshold signature [Shoup 2000], shrinking the
+certificates exchanged between clusters.  HotStuff and Steward as
+published also rely on threshold signatures, though the paper's own
+implementations omit them (§3, "Other protocols").
+
+This module implements a simulation-grade threshold scheme used by the
+ablation benchmarks: ``k`` of ``n`` share-holders each produce a share
+over a payload; any ``k`` valid shares combine into a fixed-size
+:class:`ThresholdSignature` that verifies against the group.  Shares and
+the combined signature are HMAC tags under secrets derived from a group
+key, so the unforgeability story matches :mod:`repro.crypto.signatures`:
+without ``k`` distinct share-holders' cooperation no valid combined
+signature can be produced (the combiner checks every share).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable
+
+from ..errors import CryptoError
+from ..types import NodeId
+from .digests import encode_canonical
+
+THRESHOLD_SIGNATURE_SIZE = 64
+
+
+@dataclass(frozen=True)
+class SignatureShare:
+    """One share-holder's contribution toward a threshold signature."""
+
+    member: NodeId
+    tag: bytes
+
+
+@dataclass(frozen=True)
+class ThresholdSignature:
+    """A combined, constant-size group signature over a payload."""
+
+    group: str
+    tag: bytes
+
+    def size_bytes(self) -> int:
+        """Wire size — constant, independent of ``n`` or ``k``."""
+        return THRESHOLD_SIGNATURE_SIZE
+
+
+class ThresholdScheme:
+    """A (k, n) threshold signature group.
+
+    Create one scheme per group (e.g. per cluster), then hand each member
+    its share key via :meth:`share_signer`.  Any party holding the scheme
+    can verify combined signatures; only ``k`` cooperating members can
+    produce one.
+    """
+
+    def __init__(self, group: str, members: Iterable[NodeId], k: int,
+                 seed: bytes = b"resilientdb-threshold"):
+        self._group = group
+        self._members = list(members)
+        if k < 1 or k > len(self._members):
+            raise CryptoError(
+                f"threshold k={k} out of range for {len(self._members)} members"
+            )
+        self._k = k
+        group_key = hashlib.sha256(seed + group.encode()).digest()
+        self._group_key = group_key
+        self._share_keys: Dict[NodeId, bytes] = {
+            member: hashlib.sha256(group_key + str(member).encode()).digest()
+            for member in self._members
+        }
+
+    @property
+    def group(self) -> str:
+        """Group identifier (e.g. ``"cluster-2"``)."""
+        return self._group
+
+    @property
+    def k(self) -> int:
+        """Number of shares required to combine."""
+        return self._k
+
+    def share_signer(self, member: NodeId):
+        """Return ``sign_share(payload) -> SignatureShare`` for ``member``.
+
+        The returned closure captures the member's share key; it is the
+        only way to produce that member's shares.
+        """
+        key = self._share_keys.get(member)
+        if key is None:
+            raise CryptoError(f"{member} is not a member of group {self._group}")
+
+        def sign_share(payload: Any) -> SignatureShare:
+            message = encode_canonical((self._group, str(member), payload))
+            return SignatureShare(
+                member, hmac.new(key, message, hashlib.sha256).digest()
+            )
+
+        return sign_share
+
+    def verify_share(self, share: SignatureShare, payload: Any) -> bool:
+        """Check one member's share over ``payload``."""
+        key = self._share_keys.get(share.member)
+        if key is None:
+            return False
+        message = encode_canonical((self._group, str(share.member), payload))
+        expected = hmac.new(key, message, hashlib.sha256).digest()
+        return hmac.compare_digest(expected, share.tag)
+
+    def combine(self, shares: Iterable[SignatureShare],
+                payload: Any) -> ThresholdSignature:
+        """Combine ``k`` valid shares from distinct members.
+
+        Raises :class:`CryptoError` if fewer than ``k`` distinct valid
+        shares are supplied.
+        """
+        valid_members = set()
+        for share in shares:
+            if self.verify_share(share, payload):
+                valid_members.add(share.member)
+        if len(valid_members) < self._k:
+            raise CryptoError(
+                f"need {self._k} valid shares, got {len(valid_members)}"
+            )
+        message = encode_canonical((self._group, payload))
+        tag = hmac.new(self._group_key, message, hashlib.sha256).digest()
+        return ThresholdSignature(self._group, tag)
+
+    def verify(self, signature: ThresholdSignature, payload: Any) -> bool:
+        """Verify a combined group signature."""
+        if signature.group != self._group:
+            return False
+        message = encode_canonical((self._group, payload))
+        expected = hmac.new(self._group_key, message, hashlib.sha256).digest()
+        return hmac.compare_digest(expected, signature.tag)

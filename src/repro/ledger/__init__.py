@@ -1,0 +1,23 @@
+"""Ledger substrate: blocks, the blockchain, the YCSB table, execution."""
+
+from .block import GENESIS_HASH, Batch, Block, Transaction, batch_digest, make_block
+from .blockchain import Blockchain
+from .execution import ExecutionEngine
+from .recovery import audit_ledger, rebuild_state, recover_from_peer
+from .store import DEFAULT_RECORD_COUNT, YcsbStore
+
+__all__ = [
+    "GENESIS_HASH",
+    "Batch",
+    "Block",
+    "Transaction",
+    "batch_digest",
+    "make_block",
+    "Blockchain",
+    "ExecutionEngine",
+    "audit_ledger",
+    "rebuild_state",
+    "recover_from_peer",
+    "DEFAULT_RECORD_COUNT",
+    "YcsbStore",
+]

@@ -1,0 +1,127 @@
+"""Blocks of the ResilientDB ledger.
+
+Paper §3 ("The ledger"): the i-th block of the ledger holds the i-th
+executed client request (here: request *batch*) together with the commit
+certificate that proves the batch was committed by its cluster — only a
+single commit certificate can exist per cluster per GeoBFT round
+(Lemma 2.3), which is what makes blocks tamper-evident.  Blocks chain by
+hash, so any modification of a stored block is detectable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from ..crypto.digests import digest_of
+from ..types import ClusterId, RoundId
+
+GENESIS_HASH = b"\x00" * 32
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """One client operation against the YCSB table.
+
+    ``op`` is one of ``"read"``, ``"update"``, ``"insert"``,
+    ``"modify"`` (read-modify-write), or ``"noop"``.
+    """
+
+    txn_id: str
+    op: str
+    key: int
+    value: str = ""
+
+    def payload(self) -> tuple:
+        """Canonical primitive form for hashing/signing."""
+        return ("txn", self.txn_id, self.op, self.key, self.value)
+
+    @classmethod
+    def noop(cls, txn_id: str = "noop") -> "Transaction":
+        """The paper's no-op request, proposed when a cluster has no
+        client requests for a round (§2.5)."""
+        return cls(txn_id, "noop", 0, "")
+
+
+#: A request batch as circulated by the consensus protocols.
+Batch = Tuple[Transaction, ...]
+
+
+def batch_digest(batch: Batch) -> bytes:
+    """SHA256 digest of a request batch."""
+    return digest_of(tuple(txn.payload() for txn in batch))
+
+
+@dataclass(frozen=True)
+class Block:
+    """One ledger entry: an executed batch plus its commitment proof.
+
+    ``certificate_digest`` records the commit certificate this replica
+    holds for the block.  It is *not* covered by the block hash: any
+    valid certificate proves the same request (Lemma 2.3), but different
+    replicas legitimately assemble certificates from different quorum
+    subsets of commit signatures, and the hash chain must agree across
+    replicas.  Certificates are fully verified at admission instead, and
+    retained by :class:`~repro.ledger.blockchain.Blockchain` for audit.
+    """
+
+    height: int
+    round_id: RoundId
+    cluster_id: ClusterId
+    batch: Batch
+    batch_digest: bytes
+    certificate_digest: bytes
+    prev_hash: bytes
+
+    def payload(self) -> tuple:
+        """Canonical primitive form of everything the hash covers.
+
+        The hash covers the *digest* of the batch, which commits to the
+        full content (SHA256 is collision resistant) while keeping
+        block hashing O(1) in the batch size.  :meth:`verify_content`
+        re-derives the digest from the stored transactions.
+        """
+        return (
+            "block",
+            self.height,
+            self.round_id,
+            self.cluster_id,
+            self.batch_digest,
+            self.prev_hash,
+        )
+
+    def block_hash(self) -> bytes:
+        """SHA256 over the block payload (cached by the blockchain)."""
+        return digest_of(self.payload())
+
+    def verify_content(self) -> bool:
+        """Whether the stored transactions match ``batch_digest``."""
+        return batch_digest(self.batch) == self.batch_digest
+
+
+def make_block(height: int, round_id: RoundId, cluster_id: ClusterId,
+               batch: Batch, certificate: Any,
+               prev_hash: Optional[bytes],
+               precomputed_batch_digest: Optional[bytes] = None,
+               precomputed_certificate_digest: Optional[bytes] = None,
+               ) -> Block:
+    """Construct a block, hashing the certificate into it.
+
+    ``certificate`` may be any canonically encodable object (commit
+    certificates expose ``payload()``).  Digests that protocol code has
+    already computed (and cached on its message objects) can be passed
+    in to avoid re-encoding large batches on the hot path.
+    """
+    if precomputed_batch_digest is None:
+        precomputed_batch_digest = batch_digest(tuple(batch))
+    if precomputed_certificate_digest is None:
+        precomputed_certificate_digest = digest_of(certificate)
+    return Block(
+        height=height,
+        round_id=round_id,
+        cluster_id=cluster_id,
+        batch=tuple(batch),
+        batch_digest=precomputed_batch_digest,
+        certificate_digest=precomputed_certificate_digest,
+        prev_hash=prev_hash if prev_hash is not None else GENESIS_HASH,
+    )

@@ -1,0 +1,67 @@
+"""Deterministic transaction execution.
+
+Paper §2.4: non-faulty replicas are deterministic — on identical inputs
+they produce identical outputs — so executing the same block sequence
+yields the same state and the same client results everywhere.  The
+:class:`ExecutionEngine` enforces that contract: it is a pure function
+of (initial store state, executed batch sequence).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..crypto.digests import digest_of
+from ..errors import WorkloadError
+from .block import Batch, Transaction
+from .store import YcsbStore
+
+
+class ExecutionEngine:
+    """Applies request batches to a :class:`YcsbStore` deterministically."""
+
+    def __init__(self, store: YcsbStore):
+        self._store = store
+        self._executed_txns = 0
+
+    @property
+    def store(self) -> YcsbStore:
+        """The backing table."""
+        return self._store
+
+    @property
+    def executed_txns(self) -> int:
+        """Total transactions executed (no-ops included)."""
+        return self._executed_txns
+
+    def execute_txn(self, txn: Transaction) -> str:
+        """Execute one transaction, returning its client-visible result."""
+        if txn.op == "noop":
+            result = "ok"
+        elif txn.op == "read":
+            result = self._store.read(txn.key)
+        elif txn.op == "update":
+            self._store.update(txn.key, txn.value)
+            result = "ok"
+        elif txn.op == "insert":
+            self._store.insert(txn.key, txn.value)
+            result = "ok"
+        elif txn.op == "modify":
+            result = self._store.modify(txn.key, txn.value)
+        else:
+            raise WorkloadError(f"unknown operation {txn.op!r}")
+        self._executed_txns += 1
+        return result
+
+    def execute_batch(self, batch: Batch) -> List[str]:
+        """Execute a batch in order, returning per-transaction results."""
+        return [self.execute_txn(txn) for txn in batch]
+
+    def results_digest(self, results: List[str]) -> bytes:
+        """Digest of a result list — what clients compare across the
+        ``f + 1`` replies they need (§2.4)."""
+        return digest_of(tuple(results))
+
+    def state_digest(self) -> bytes:
+        """Digest of the current store state (checkpointing)."""
+        return self._store.state_digest()

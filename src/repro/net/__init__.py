@@ -1,0 +1,20 @@
+"""Geo-scale network substrate: simulator, topology, links, failures.
+
+This package is the stand-in for the paper's Google Cloud deployment.
+See ``DESIGN.md`` §2 for the substitution argument.
+"""
+
+from .failures import FailureModel
+from .network import Network
+from .simulator import Simulation, Timer
+from .topology import PAPER_REGIONS, LinkSpec, Topology
+
+__all__ = [
+    "FailureModel",
+    "Network",
+    "Simulation",
+    "Timer",
+    "PAPER_REGIONS",
+    "LinkSpec",
+    "Topology",
+]

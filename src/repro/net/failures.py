@@ -1,0 +1,118 @@
+"""Failure and Byzantine-behaviour injection.
+
+The paper's §4.3 evaluates three failure scenarios (one non-primary
+crash, ``f`` non-primary crashes per cluster, one primary crash) and the
+protocol sections reason about Byzantine primaries that selectively omit
+messages (Example 2.4).  This module centralizes all of that:
+
+* **Crashes** — a crashed node neither sends nor receives.
+* **Partitions** — arbitrary directed (src, dst) pairs can be severed.
+* **Send rules** — predicates suppress specific messages at the sender,
+  modelling Byzantine omission (e.g. "primary of C1 never sends global
+  shares to C2", the trigger for GeoBFT's remote view change).
+* **Receive rules** — predicates drop messages at the receiver,
+  modelling case (2) of Example 2.4 (a Byzantine receiver pretending it
+  got nothing).
+
+Rules are kept outside protocol code so a test or benchmark configures a
+scenario purely through the :class:`FailureModel`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Set
+
+from ..types import NodeId
+
+#: Predicate over (src, dst, message) deciding whether to drop.
+DropRule = Callable[[NodeId, NodeId, object], bool]
+
+
+class FailureModel:
+    """Mutable failure state consulted by :class:`repro.net.network.Network`."""
+
+    def __init__(self) -> None:
+        self._crashed: Set[NodeId] = set()
+        self._severed: Set[tuple[NodeId, NodeId]] = set()
+        self._send_rules: list[DropRule] = []
+        self._receive_rules: list[DropRule] = []
+
+    # ------------------------------------------------------------------
+    # Crash faults
+    # ------------------------------------------------------------------
+    def crash(self, node: NodeId) -> None:
+        """Crash ``node``: it stops sending and receiving from now on."""
+        self._crashed.add(node)
+
+    def recover(self, node: NodeId) -> None:
+        """Undo a crash (the node resumes with whatever state it kept)."""
+        self._crashed.discard(node)
+
+    def is_crashed(self, node: NodeId) -> bool:
+        """Whether ``node`` is currently crashed."""
+        return node in self._crashed
+
+    @property
+    def crashed_nodes(self) -> frozenset[NodeId]:
+        """Snapshot of currently crashed nodes."""
+        return frozenset(self._crashed)
+
+    # ------------------------------------------------------------------
+    # Network partitions
+    # ------------------------------------------------------------------
+    def sever(self, src: NodeId, dst: NodeId) -> None:
+        """Drop everything sent from ``src`` to ``dst`` (directed)."""
+        self._severed.add((src, dst))
+
+    def heal(self, src: NodeId, dst: NodeId) -> None:
+        """Restore a severed directed link."""
+        self._severed.discard((src, dst))
+
+    def sever_bidirectional(self, a: NodeId, b: NodeId) -> None:
+        """Drop traffic in both directions between two nodes."""
+        self.sever(a, b)
+        self.sever(b, a)
+
+    # ------------------------------------------------------------------
+    # Byzantine omission rules
+    # ------------------------------------------------------------------
+    def add_send_rule(self, rule: DropRule) -> DropRule:
+        """Suppress sends matching ``rule`` (at the sender, before the
+        uplink — a malicious sender spends no bandwidth on omitted
+        messages).  Returns the rule so callers can remove it later."""
+        self._send_rules.append(rule)
+        return rule
+
+    def remove_send_rule(self, rule: DropRule) -> None:
+        """Remove a previously added send rule (idempotent)."""
+        if rule in self._send_rules:
+            self._send_rules.remove(rule)
+
+    def add_receive_rule(self, rule: DropRule) -> DropRule:
+        """Drop deliveries matching ``rule`` at the receiver."""
+        self._receive_rules.append(rule)
+        return rule
+
+    def remove_receive_rule(self, rule: DropRule) -> None:
+        """Remove a previously added receive rule (idempotent)."""
+        if rule in self._receive_rules:
+            self._receive_rules.remove(rule)
+
+    # ------------------------------------------------------------------
+    # Queries used by the network
+    # ------------------------------------------------------------------
+    def suppresses_send(self, src: NodeId, dst: NodeId, message) -> bool:
+        """Whether the send never leaves ``src`` (crash or omission)."""
+        if src in self._crashed:
+            return True
+        return any(rule(src, dst, message) for rule in self._send_rules)
+
+    def drops_in_flight(self, src: NodeId, dst: NodeId, message) -> bool:
+        """Whether the network loses the message after transmission."""
+        return (src, dst) in self._severed
+
+    def drops_at_receiver(self, src: NodeId, dst: NodeId, message) -> bool:
+        """Whether the receiver never sees the delivery."""
+        if dst in self._crashed:
+            return True
+        return any(rule(src, dst, message) for rule in self._receive_rules)

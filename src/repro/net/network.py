@@ -1,0 +1,178 @@
+"""Point-to-point network model over the simulator.
+
+The model captures the two quantities the paper's evaluation turns on
+(§1.1, Table 1):
+
+* **Propagation latency** — one-way delay from the topology matrix.
+* **Uplink serialization** — every node owns one *local* transmit queue
+  (intra-region traffic at the region's multi-Gbit rate) and one shared
+  *WAN egress* queue: all of a node's cross-region messages serialize
+  through it, each transmitting at the Table 1 rate of its destination
+  pair.  A single egress pipe is what a real NIC (and the paper's
+  deployment) provides — it is why a PBFT primary pushing pre-prepares
+  to 59 replicas across five remote regions is bandwidth-bound and
+  *plateaus* as batches grow (Figure 13), while GeoBFT's ``f + 1``
+  certificates per remote cluster barely load the pipe.
+
+Failures are injected through a :class:`repro.net.failures.FailureModel`
+consulted on every send/delivery, keeping protocol code oblivious to the
+failure scenario being tested.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional, Protocol, Tuple
+
+from ..errors import ConfigurationError
+from ..types import NodeId
+from .failures import FailureModel
+from .simulator import Simulation
+from .topology import Topology
+
+
+class NetworkNode(Protocol):
+    """What the network needs from an attached node."""
+
+    @property
+    def node_id(self) -> NodeId: ...
+
+    @property
+    def region(self) -> str: ...
+
+    def deliver(self, message, sender: NodeId) -> None: ...
+
+
+class SizedMessage(Protocol):
+    """Every message must know its wire size."""
+
+    def size_bytes(self) -> int: ...
+
+
+#: Observer signature: (src, dst, message, size_bytes, is_local).
+SendObserver = Callable[[NodeId, NodeId, object, int, bool], None]
+
+#: Sentinel region key for a sender's shared cross-region egress queue.
+_WAN_EGRESS = "__wan__"
+
+
+class Network:
+    """Delivers messages between registered nodes with realistic timing."""
+
+    def __init__(self, sim: Simulation, topology: Topology,
+                 failures: Optional[FailureModel] = None):
+        self._sim = sim
+        self._topology = topology
+        self._failures = failures or FailureModel()
+        self._nodes: Dict[NodeId, NetworkNode] = {}
+        # (sender, destination region) -> time the uplink frees up.
+        self._uplink_free_at: Dict[Tuple[NodeId, str], float] = {}
+        self._observers: list[SendObserver] = []
+
+    @property
+    def topology(self) -> Topology:
+        """The region matrix this network runs on."""
+        return self._topology
+
+    @property
+    def failures(self) -> FailureModel:
+        """The failure model consulted on every send."""
+        return self._failures
+
+    @property
+    def simulation(self) -> Simulation:
+        """The simulator driving deliveries."""
+        return self._sim
+
+    def register(self, node: NetworkNode) -> None:
+        """Attach a node; its region must exist in the topology."""
+        if node.region not in self._topology.regions:
+            raise ConfigurationError(
+                f"node {node.node_id} placed in unknown region {node.region}"
+            )
+        if node.node_id in self._nodes:
+            raise ConfigurationError(f"duplicate node id {node.node_id}")
+        self._nodes[node.node_id] = node
+
+    def node(self, node_id: NodeId) -> NetworkNode:
+        """Look up a registered node."""
+        try:
+            return self._nodes[node_id]
+        except KeyError as exc:
+            raise ConfigurationError(f"unknown node {node_id}") from exc
+
+    def known_nodes(self) -> Iterable[NodeId]:
+        """Ids of all registered nodes."""
+        return self._nodes.keys()
+
+    def add_observer(self, observer: SendObserver) -> None:
+        """Register a callback invoked for every (non-dropped) send."""
+        self._observers.append(observer)
+
+    def send(self, src: NodeId, dst: NodeId, message: SizedMessage) -> None:
+        """Transmit ``message`` from ``src`` to ``dst``.
+
+        Timing: the message first serializes on the sender's uplink to
+        the destination region (``size / bandwidth``, queued FIFO behind
+        earlier sends), then propagates (one-way latency), then is
+        delivered.  Self-sends are delivered after a negligible delay.
+        Drops (crashed nodes, partitions, Byzantine omission) consume no
+        uplink time when the *sender* is suppressing the send, and full
+        transmit time when the network or receiver loses it.
+        """
+        if src == dst:
+            self._sim.schedule(0.0, self._deliver, src, dst, message)
+            return
+        sender = self.node(src)
+        receiver = self.node(dst)
+        if self._failures.suppresses_send(src, dst, message):
+            return
+        size = message.size_bytes()
+        link = self._topology.link(sender.region, receiver.region)
+        transmit = size / link.bandwidth_bytes_per_s
+        if sender.region == receiver.region:
+            key = (src, receiver.region)
+        else:
+            # All cross-region traffic shares one egress pipe per
+            # sender; each message still transmits at its pair's rate.
+            key = (src, _WAN_EGRESS)
+        start = max(self._sim.now, self._uplink_free_at.get(key, 0.0))
+        self._uplink_free_at[key] = start + transmit
+        arrival_delay = (start - self._sim.now) + transmit + link.latency_s
+        is_local = sender.region == receiver.region
+        for observer in self._observers:
+            observer(src, dst, message, size, is_local)
+        if self._failures.drops_in_flight(src, dst, message):
+            return
+        self._sim.schedule(arrival_delay, self._deliver, src, dst, message)
+
+    def multicast(self, src: NodeId, dsts: Iterable[NodeId],
+                  message: SizedMessage) -> None:
+        """Send one copy of ``message`` to each destination.
+
+        Copies to the same region serialize on the shared uplink, which
+        is what makes "broadcast to a far region" expensive.
+        """
+        for dst in dsts:
+            self.send(src, dst, message)
+
+    def _deliver(self, src: NodeId, dst: NodeId, message) -> None:
+        if self._failures.drops_at_receiver(src, dst, message):
+            return
+        node = self._nodes.get(dst)
+        if node is not None:
+            node.deliver(message, src)
+
+    def uplink_backlog(self, src: NodeId, dst_region: str) -> float:
+        """Seconds of queued transmit time on one uplink (diagnostics).
+
+        For a cross-region destination this reports the sender's shared
+        WAN egress backlog; pass the sender's own region for the local
+        queue.
+        """
+        sender = self.node(src)
+        if dst_region == sender.region:
+            key = (src, dst_region)
+        else:
+            key = (src, _WAN_EGRESS)
+        free_at = self._uplink_free_at.get(key, 0.0)
+        return max(0.0, free_at - self._sim.now)

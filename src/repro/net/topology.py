@@ -1,0 +1,191 @@
+"""Geo-scale network topology seeded with the paper's Table 1.
+
+Table 1 of the paper reports ping round-trip times (ms) and iperf
+bandwidth (Mbit/s) between Google Cloud ``n1`` machines in six regions:
+Oregon, Iowa, Montreal, Belgium, Taiwan, and Sydney.  Those measurements
+drive every geo-scale experiment, so this module reproduces the matrix
+verbatim and exposes it as a :class:`Topology` the network model
+consumes.
+
+Custom topologies (different regions, latencies, bandwidths) can be
+built with :meth:`Topology.custom` for tests and what-if experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Tuple
+
+from ..errors import ConfigurationError
+
+#: The six regions of the paper's evaluation, in the order experiments
+#: add them (paper §4.1): Oregon, Iowa, Montreal, Belgium, Taiwan, Sydney.
+PAPER_REGIONS: tuple[str, ...] = (
+    "oregon", "iowa", "montreal", "belgium", "taiwan", "sydney",
+)
+
+# Upper-triangular entries of Table 1 (row, column follow PAPER_REGIONS).
+# RTT in milliseconds; the diagonal "<= 1 ms" is modelled as 1 ms.
+_PAPER_RTT_MS: dict[tuple[str, str], float] = {
+    ("oregon", "oregon"): 1.0,
+    ("oregon", "iowa"): 38.0,
+    ("oregon", "montreal"): 65.0,
+    ("oregon", "belgium"): 136.0,
+    ("oregon", "taiwan"): 118.0,
+    ("oregon", "sydney"): 161.0,
+    ("iowa", "iowa"): 1.0,
+    ("iowa", "montreal"): 33.0,
+    ("iowa", "belgium"): 98.0,
+    ("iowa", "taiwan"): 153.0,
+    ("iowa", "sydney"): 172.0,
+    ("montreal", "montreal"): 1.0,
+    ("montreal", "belgium"): 82.0,
+    ("montreal", "taiwan"): 186.0,
+    ("montreal", "sydney"): 202.0,
+    ("belgium", "belgium"): 1.0,
+    ("belgium", "taiwan"): 252.0,
+    ("belgium", "sydney"): 270.0,
+    ("taiwan", "taiwan"): 1.0,
+    ("taiwan", "sydney"): 137.0,
+    ("sydney", "sydney"): 1.0,
+}
+
+# Bandwidth in Mbit/s (Table 1, right half).
+_PAPER_BANDWIDTH_MBIT: dict[tuple[str, str], float] = {
+    ("oregon", "oregon"): 7998.0,
+    ("oregon", "iowa"): 669.0,
+    ("oregon", "montreal"): 371.0,
+    ("oregon", "belgium"): 194.0,
+    ("oregon", "taiwan"): 188.0,
+    ("oregon", "sydney"): 136.0,
+    ("iowa", "iowa"): 10004.0,
+    ("iowa", "montreal"): 752.0,
+    ("iowa", "belgium"): 243.0,
+    ("iowa", "taiwan"): 144.0,
+    ("iowa", "sydney"): 120.0,
+    ("montreal", "montreal"): 7977.0,
+    ("montreal", "belgium"): 283.0,
+    ("montreal", "taiwan"): 111.0,
+    ("montreal", "sydney"): 102.0,
+    ("belgium", "belgium"): 9728.0,
+    ("belgium", "taiwan"): 79.0,
+    ("belgium", "sydney"): 66.0,
+    ("taiwan", "taiwan"): 7998.0,
+    ("taiwan", "sydney"): 160.0,
+    ("sydney", "sydney"): 7977.0,
+}
+
+
+def _symmetrize(
+    entries: Mapping[Tuple[str, str], float],
+) -> Dict[Tuple[str, str], float]:
+    full: Dict[Tuple[str, str], float] = {}
+    for (a, b), value in entries.items():
+        full[(a, b)] = value
+        full[(b, a)] = value
+    return full
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One directed region-to-region link: latency and bandwidth."""
+
+    latency_s: float
+    bandwidth_bytes_per_s: float
+
+
+class Topology:
+    """Region set plus the pairwise latency/bandwidth matrix.
+
+    Latency here is *one-way* propagation delay, i.e. half the measured
+    ping round-trip time.  Bandwidth is the per-machine-pair iperf rate
+    from Table 1, converted to bytes/second.
+    """
+
+    def __init__(self, regions: Iterable[str],
+                 rtt_ms: Mapping[Tuple[str, str], float],
+                 bandwidth_mbit: Mapping[Tuple[str, str], float]):
+        self._regions = tuple(regions)
+        if len(set(self._regions)) != len(self._regions):
+            raise ConfigurationError("duplicate region names in topology")
+        rtt = _symmetrize(rtt_ms)
+        bw = _symmetrize(bandwidth_mbit)
+        self._links: Dict[Tuple[str, str], LinkSpec] = {}
+        for a in self._regions:
+            for b in self._regions:
+                try:
+                    latency = rtt[(a, b)] / 2.0 / 1000.0
+                    bandwidth = bw[(a, b)] * 1e6 / 8.0
+                except KeyError as exc:
+                    raise ConfigurationError(
+                        f"topology missing link data for {a} <-> {b}"
+                    ) from exc
+                if latency < 0 or bandwidth <= 0:
+                    raise ConfigurationError(
+                        f"invalid link {a} <-> {b}: latency={latency}, "
+                        f"bandwidth={bandwidth}"
+                    )
+                self._links[(a, b)] = LinkSpec(latency, bandwidth)
+
+    @classmethod
+    def paper(cls, num_regions: int = 6) -> "Topology":
+        """The paper's six-region Google Cloud topology (Table 1).
+
+        ``num_regions`` selects a prefix in the paper's deployment order
+        (Oregon, Iowa, Montreal, Belgium, Taiwan, Sydney) — exactly how
+        §4.1 scales from one to six regions.
+        """
+        if not 1 <= num_regions <= len(PAPER_REGIONS):
+            raise ConfigurationError(
+                f"num_regions must be in 1..{len(PAPER_REGIONS)}, "
+                f"got {num_regions}"
+            )
+        regions = PAPER_REGIONS[:num_regions]
+        return cls(regions, _PAPER_RTT_MS, _PAPER_BANDWIDTH_MBIT)
+
+    @classmethod
+    def custom(cls, regions: Iterable[str],
+               rtt_ms: Mapping[Tuple[str, str], float],
+               bandwidth_mbit: Mapping[Tuple[str, str], float]) -> "Topology":
+        """Build a topology from explicit matrices (symmetric input)."""
+        return cls(regions, rtt_ms, bandwidth_mbit)
+
+    @classmethod
+    def uniform(cls, regions: Iterable[str], rtt_ms: float = 1.0,
+                bandwidth_mbit: float = 8000.0) -> "Topology":
+        """A flat topology where every pair has the same link — handy for
+        unit tests that should not depend on geography."""
+        regions = tuple(regions)
+        rtt = {(a, b): rtt_ms for a in regions for b in regions}
+        bw = {(a, b): bandwidth_mbit for a in regions for b in regions}
+        return cls(regions, rtt, bw)
+
+    @property
+    def regions(self) -> tuple[str, ...]:
+        """The regions of this topology, in deployment order."""
+        return self._regions
+
+    def link(self, src_region: str, dst_region: str) -> LinkSpec:
+        """The directed link spec between two regions."""
+        try:
+            return self._links[(src_region, dst_region)]
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"unknown region pair ({src_region}, {dst_region})"
+            ) from exc
+
+    def latency(self, src_region: str, dst_region: str) -> float:
+        """One-way latency in seconds."""
+        return self.link(src_region, dst_region).latency_s
+
+    def rtt_ms(self, src_region: str, dst_region: str) -> float:
+        """Round-trip time in milliseconds (as Table 1 reports it)."""
+        return self.link(src_region, dst_region).latency_s * 2 * 1000.0
+
+    def bandwidth_mbit(self, src_region: str, dst_region: str) -> float:
+        """Bandwidth in Mbit/s (as Table 1 reports it)."""
+        return self.link(src_region, dst_region).bandwidth_bytes_per_s * 8 / 1e6
+
+    def is_local(self, src_region: str, dst_region: str) -> bool:
+        """Whether the two endpoints share a region (intra-cluster)."""
+        return src_region == dst_region

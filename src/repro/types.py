@@ -1,0 +1,106 @@
+"""Shared primitive types and identifiers.
+
+The paper models a system as a set of clusters ``S = {C_1, ..., C_z}``,
+each holding ``n`` replicas of which at most ``f`` are Byzantine with
+``n > 3f``.  This module defines the identifier types used to address
+replicas, clusters, and clients throughout the library, plus small value
+objects shared by several subsystems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import ConfigurationError
+
+# Type aliases used pervasively.  They are plain ints/strs so messages stay
+# cheap to hash and compare inside the simulator's hot loop.
+ClusterId = int
+RoundId = int
+ViewId = int
+SeqNum = int
+
+
+@dataclass(frozen=True, order=True)
+class NodeId:
+    """Globally unique address of a replica or client.
+
+    ``kind`` is ``"replica"`` or ``"client"``; replicas additionally carry
+    the cluster they belong to and their index (the paper's ``id(R)``,
+    which is 1-based within a cluster).
+    """
+
+    kind: str
+    cluster: ClusterId
+    index: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind[0]}{self.cluster}.{self.index}"
+
+
+def replica_id(cluster: ClusterId, index: int) -> NodeId:
+    """Return the :class:`NodeId` of replica ``index`` in ``cluster``.
+
+    ``index`` follows the paper's convention and is 1-based.
+    """
+    if index < 1:
+        raise ConfigurationError(f"replica index must be >= 1, got {index}")
+    return NodeId("replica", cluster, index)
+
+
+def client_id(cluster: ClusterId, index: int) -> NodeId:
+    """Return the :class:`NodeId` of client ``index`` local to ``cluster``."""
+    if index < 1:
+        raise ConfigurationError(f"client index must be >= 1, got {index}")
+    return NodeId("client", cluster, index)
+
+
+def max_faulty(n: int) -> int:
+    """Largest ``f`` a cluster of ``n`` replicas tolerates (``n > 3f``).
+
+    >>> max_faulty(4)
+    1
+    >>> max_faulty(7)
+    2
+    """
+    if n < 1:
+        raise ConfigurationError(f"cluster size must be positive, got {n}")
+    return (n - 1) // 3
+
+
+def quorum_size(n: int) -> int:
+    """The ``n - f`` quorum used by PBFT prepare/commit phases."""
+    return n - max_faulty(n)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Static description of one cluster: its id, region, and size."""
+
+    cluster_id: ClusterId
+    region: str
+    num_replicas: int
+
+    def __post_init__(self) -> None:
+        if self.num_replicas < 4:
+            raise ConfigurationError(
+                f"cluster {self.cluster_id} needs >= 4 replicas to tolerate "
+                f"one fault (n > 3f), got {self.num_replicas}"
+            )
+
+    @property
+    def f(self) -> int:
+        """Faults tolerated by this cluster."""
+        return max_faulty(self.num_replicas)
+
+    @property
+    def quorum(self) -> int:
+        """PBFT quorum (``n - f``) for this cluster."""
+        return quorum_size(self.num_replicas)
+
+    def replicas(self) -> list[NodeId]:
+        """All replica ids of this cluster, in index order."""
+        return [
+            replica_id(self.cluster_id, i)
+            for i in range(1, self.num_replicas + 1)
+        ]

@@ -1,0 +1,23 @@
+"""Workload substrate: YCSB generators and closed-loop clients."""
+
+from .client import QuorumClient
+from .ycsb import YcsbWorkload
+from .zipfian import (
+    DEFAULT_ZIPFIAN_CONSTANT,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+    make_generator,
+    zeta,
+)
+
+__all__ = [
+    "QuorumClient",
+    "YcsbWorkload",
+    "DEFAULT_ZIPFIAN_CONSTANT",
+    "ScrambledZipfianGenerator",
+    "UniformGenerator",
+    "ZipfianGenerator",
+    "make_generator",
+    "zeta",
+]

@@ -1,0 +1,199 @@
+"""Closed-loop clients.
+
+The paper drives ResilientDB with 160 k closed-loop YCSB clients spread
+across all regions (§4).  :class:`QuorumClient` reproduces the client
+contract of §2.4: it signs and submits request batches to its local
+primary, accepts a result once ``f + 1`` replicas reply with matching
+result digests, measures end-to-end latency, and keeps a configurable
+number of batches outstanding (closed loop).  If a request is not
+answered in time the client re-broadcasts it to all fallback targets —
+the standard PBFT client behaviour that lets backups detect a primary
+ignoring clients (and ultimately forces a view change).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..consensus.messages import ClientReply, ClientRequestBatch
+from ..errors import ConfigurationError
+from ..net.network import Network
+from ..net.simulator import Simulation, Timer
+from ..types import NodeId
+from .ycsb import YcsbWorkload
+
+
+class _PendingBatch:
+    __slots__ = ("request", "submitted_at", "votes", "timer", "retries")
+
+    def __init__(self, request: ClientRequestBatch, submitted_at: float):
+        self.request = request
+        self.submitted_at = submitted_at
+        self.votes: Dict[bytes, Set[NodeId]] = {}
+        self.timer: Optional[Timer] = None
+        self.retries = 0
+
+
+class QuorumClient:
+    """A closed-loop client completing on ``f + 1`` matching replies."""
+
+    def __init__(self,
+                 node_id: NodeId,
+                 region: str,
+                 sim: Simulation,
+                 network: Network,
+                 registry,
+                 workload: YcsbWorkload,
+                 batch_size: int,
+                 primary_targets: List[NodeId],
+                 fallback_targets: List[NodeId],
+                 reply_quorum: int,
+                 outstanding: int = 4,
+                 retry_timeout: float = 6.0,
+                 max_batches: Optional[int] = None,
+                 metrics=None):
+        if batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1")
+        if reply_quorum < 1:
+            raise ConfigurationError("reply_quorum must be >= 1")
+        if outstanding < 1:
+            raise ConfigurationError("outstanding must be >= 1")
+        self._node_id = node_id
+        self._region = region
+        self._sim = sim
+        self._network = network
+        self._signer = registry.register(node_id)
+        self._workload = workload
+        self._batch_size = batch_size
+        self._primary_targets = list(primary_targets)
+        self._fallback_targets = list(fallback_targets)
+        self._reply_quorum = reply_quorum
+        self._outstanding = outstanding
+        self._retry_timeout = retry_timeout
+        self._max_batches = max_batches
+        self._metrics = metrics
+
+        self._pending: Dict[str, _PendingBatch] = {}
+        self._submitted = 0
+        self._completed = 0
+        self._started = False
+        # Once a request times out the client stops trusting the known
+        # primary and broadcasts subsequent requests to all fallback
+        # targets (the standard PBFT client reaction to an unresponsive
+        # primary).  It stays in broadcast mode: it has no way to learn
+        # which replica leads the new view.
+        self._use_fallback = False
+        network.register(self)
+
+    # ------------------------------------------------------------------
+    # Network node interface
+    # ------------------------------------------------------------------
+    @property
+    def node_id(self) -> NodeId:
+        """The client's address."""
+        return self._node_id
+
+    @property
+    def region(self) -> str:
+        """The region this client lives in (its local cluster's)."""
+        return self._region
+
+    def deliver(self, message, sender: NodeId) -> None:
+        """Receive a reply from a replica."""
+        if isinstance(message, ClientReply):
+            self._on_reply(message, sender)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def submitted_batches(self) -> int:
+        """Batches submitted so far."""
+        return self._submitted
+
+    @property
+    def completed_batches(self) -> int:
+        """Batches acknowledged by a reply quorum."""
+        return self._completed
+
+    @property
+    def pending_batches(self) -> int:
+        """Batches currently in flight."""
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin the closed loop (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for _ in range(self._outstanding):
+            if not self._submit_next():
+                break
+
+    def _submit_next(self) -> bool:
+        if (self._max_batches is not None
+                and self._submitted >= self._max_batches):
+            return False
+        batch = self._workload.next_batch(
+            self._batch_size, prefix=f"{self._node_id}-"
+        )
+        batch_id = f"{self._node_id}:{self._submitted}"
+        unsigned = ClientRequestBatch(batch_id, self._node_id, batch, None)
+        request = ClientRequestBatch(
+            batch_id, self._node_id, batch,
+            self._signer.sign(unsigned.payload()),
+        )
+        pending = _PendingBatch(request, self._sim.now)
+        self._pending[batch_id] = pending
+        self._submitted += 1
+        targets = (self._fallback_targets if self._use_fallback
+                   else self._primary_targets)
+        for target in targets:
+            self._network.send(self._node_id, target, request)
+        pending.timer = self._sim.schedule(
+            self._retry_timeout, self._on_retry_timeout, batch_id
+        )
+        if self._metrics is not None:
+            self._metrics.record_submitted(self._node_id, len(batch),
+                                           self._sim.now)
+        return True
+
+    def _on_retry_timeout(self, batch_id: str) -> None:
+        pending = self._pending.get(batch_id)
+        if pending is None:
+            return
+        pending.retries += 1
+        self._use_fallback = True
+        # Standard PBFT fallback: broadcast to everyone so non-faulty
+        # backups learn of the request and can suspect the primary.
+        for target in self._fallback_targets:
+            self._network.send(self._node_id, target, pending.request)
+        backoff = self._retry_timeout * (2 ** pending.retries)
+        pending.timer = self._sim.schedule(
+            backoff, self._on_retry_timeout, batch_id
+        )
+
+    def _on_reply(self, reply: ClientReply, sender: NodeId) -> None:
+        pending = self._pending.get(reply.batch_id)
+        if pending is None or sender != reply.replica:
+            return
+        voters = pending.votes.setdefault(reply.results_digest, set())
+        voters.add(sender)
+        if len(voters) < self._reply_quorum:
+            return
+        # f + 1 matching replies: at least one is from a non-faulty
+        # replica, so the result is final (§2.4).
+        del self._pending[reply.batch_id]
+        if pending.timer is not None:
+            pending.timer.cancel()
+        self._completed += 1
+        if self._metrics is not None:
+            latency = self._sim.now - pending.submitted_at
+            self._metrics.record_completed(
+                self._node_id, len(pending.request.batch), latency,
+                self._sim.now,
+            )
+        self._submit_next()

@@ -1,0 +1,74 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.deployment import Deployment, ExperimentConfig
+from repro.crypto.costs import CryptoCostModel
+from repro.crypto.signatures import KeyRegistry
+from repro.net.network import Network
+from repro.net.simulator import Simulation
+from repro.net.topology import Topology
+
+
+@pytest.fixture
+def sim() -> Simulation:
+    """A fresh simulator with a fixed seed."""
+    return Simulation(seed=42)
+
+
+@pytest.fixture
+def registry() -> KeyRegistry:
+    """A fresh PKI."""
+    return KeyRegistry(seed=b"test-pki")
+
+
+@pytest.fixture
+def uniform_topology() -> Topology:
+    """Six fast, flat regions (no geography) for logic-only tests."""
+    return Topology.uniform(
+        [f"region{i}" for i in range(1, 7)], rtt_ms=2.0,
+        bandwidth_mbit=8000.0,
+    )
+
+
+@pytest.fixture
+def network(sim, uniform_topology) -> Network:
+    """A network over the uniform topology."""
+    return Network(sim, uniform_topology)
+
+
+def small_config(protocol: str = "geobft", **overrides) -> ExperimentConfig:
+    """A small, fast experiment config for integration tests.
+
+    Uses the paper topology (2 regions), 4 replicas per cluster, tiny
+    batches, and real crypto unless overridden.
+    """
+    defaults = dict(
+        protocol=protocol,
+        num_clusters=2,
+        replicas_per_cluster=4,
+        batch_size=5,
+        clients_per_cluster=1,
+        client_outstanding=2,
+        duration=3.0,
+        warmup=0.5,
+        record_count=500,
+        seed=3,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+def run_small(protocol: str = "geobft", **overrides):
+    """Build, run, and return (deployment, result) for a small config."""
+    deployment = Deployment(small_config(protocol, **overrides))
+    result = deployment.run()
+    return deployment, result
+
+
+@pytest.fixture
+def free_costs() -> CryptoCostModel:
+    """Zero-cost crypto for logic-only unit tests."""
+    return CryptoCostModel.free()

@@ -1,0 +1,249 @@
+"""Tests for the benchmark harness: metrics, deployment building,
+failure scenarios, reporting, and complexity analysis."""
+
+import pytest
+
+from repro.analysis.complexity import analytic_complexity, measured_complexity
+from repro.bench.deployment import (
+    PROTOCOLS,
+    Deployment,
+    ExperimentConfig,
+    run_experiment,
+)
+from repro.bench.metrics import Metrics
+from repro.bench.reporting import (
+    format_figure_series,
+    format_table,
+    summarize_results,
+)
+from repro.bench.scenarios import apply_scenario
+from repro.errors import ConfigurationError
+from repro.types import client_id, replica_id
+
+
+class TestMetrics:
+    def test_throughput_excludes_warmup(self):
+        metrics = Metrics(warmup=10.0)
+        metrics.record_completed(client_id(1, 1), 100, 0.5, now=5.0)
+        metrics.record_completed(client_id(1, 1), 100, 0.5, now=15.0)
+        metrics.finish(20.0)
+        assert metrics.throughput_txn_s() == pytest.approx(10.0)
+        assert metrics.completed_txns == 200
+
+    def test_latency_statistics(self):
+        metrics = Metrics(warmup=0.0)
+        for latency in (0.1, 0.2, 0.9):
+            metrics.record_completed(client_id(1, 1), 1, latency, now=1.0)
+        metrics.finish(2.0)
+        assert metrics.avg_latency_s() == pytest.approx(0.4)
+        assert metrics.p50_latency_s() == pytest.approx(0.2)
+
+    def test_empty_metrics_are_zero(self):
+        metrics = Metrics()
+        metrics.finish(0.0)
+        assert metrics.throughput_txn_s() == 0.0
+        assert metrics.avg_latency_s() == 0.0
+        assert metrics.p50_latency_s() == 0.0
+
+    def test_network_observer_classifies_traffic(self):
+        metrics = Metrics()
+
+        class Msg:
+            pass
+
+        metrics.network_observer(replica_id(1, 1), replica_id(1, 2), Msg(),
+                                 100, True)
+        metrics.network_observer(replica_id(1, 1), replica_id(2, 1), Msg(),
+                                 300, False)
+        assert metrics.local_messages == 1
+        assert metrics.global_messages == 1
+        assert metrics.local_bytes == 100
+        assert metrics.global_bytes == 300
+        assert metrics.message_counts()["Msg"] == {"local": 1, "global": 1}
+
+    def test_executed_txn_accounting(self):
+        metrics = Metrics()
+        metrics.record_executed(replica_id(1, 1), 10, 1.0)
+        metrics.record_executed(replica_id(1, 1), 10, 2.0)
+        metrics.record_executed(replica_id(1, 2), 5, 2.0)
+        assert metrics.executed_txns(replica_id(1, 1)) == 20
+        assert metrics.total_executed_txns() == 25
+
+
+class TestExperimentConfig:
+    def test_defaults_valid(self):
+        config = ExperimentConfig()
+        assert config.protocol in PROTOCOLS
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(protocol="raft")
+
+    def test_cluster_bounds(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(num_clusters=0)
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(replicas_per_cluster=3)
+
+    def test_warmup_before_duration(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(duration=1.0, warmup=2.0)
+
+    def test_topology_defaults_to_paper_prefix(self):
+        config = ExperimentConfig(num_clusters=3)
+        assert config.resolved_topology().regions == (
+            "oregon", "iowa", "montreal")
+
+
+class TestDeploymentBuilding:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_builds_every_protocol(self, protocol):
+        config = ExperimentConfig(
+            protocol=protocol, num_clusters=2, replicas_per_cluster=4,
+            batch_size=2, clients_per_cluster=1, duration=1.0, warmup=0.2,
+            record_count=100,
+        )
+        deployment = Deployment(config)
+        assert len(deployment.replicas) == 8
+        assert len(deployment.clients) == 2
+        assert set(deployment.cluster_members) == {1, 2}
+
+    def test_replicas_placed_in_paper_regions(self):
+        config = ExperimentConfig(
+            protocol="geobft", num_clusters=2, replicas_per_cluster=4,
+            duration=1.0, warmup=0.2,
+        )
+        deployment = Deployment(config)
+        r11 = deployment.replicas[replica_id(1, 1)]
+        r21 = deployment.replicas[replica_id(2, 1)]
+        assert r11.region == "oregon"
+        assert r21.region == "iowa"
+
+    def test_run_experiment_returns_result(self):
+        result = run_experiment(ExperimentConfig(
+            protocol="geobft", num_clusters=2, replicas_per_cluster=4,
+            batch_size=3, clients_per_cluster=1, client_outstanding=2,
+            duration=1.5, warmup=0.3, record_count=100, fast_crypto=True,
+        ))
+        assert result.throughput_txn_s > 0
+        assert result.safety_ok
+        assert "geobft" in result.describe()
+
+    def test_fast_crypto_matches_real_crypto_results(self):
+        """fast_crypto only saves host CPU: simulated outcomes match."""
+        base = dict(
+            protocol="geobft", num_clusters=2, replicas_per_cluster=4,
+            batch_size=3, clients_per_cluster=1, client_outstanding=2,
+            duration=1.5, warmup=0.3, record_count=100, seed=5,
+        )
+        real = run_experiment(ExperimentConfig(**base, fast_crypto=False))
+        fast = run_experiment(ExperimentConfig(**base, fast_crypto=True))
+        assert fast.throughput_txn_s == pytest.approx(real.throughput_txn_s)
+        assert fast.avg_latency_s == pytest.approx(real.avg_latency_s)
+        assert fast.global_messages == real.global_messages
+
+
+class TestScenarios:
+    def _deployment(self, protocol="geobft"):
+        return Deployment(ExperimentConfig(
+            protocol=protocol, num_clusters=2, replicas_per_cluster=4,
+            batch_size=3, clients_per_cluster=1, duration=2.0, warmup=0.4,
+            record_count=100,
+        ))
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigurationError):
+            apply_scenario(self._deployment(), "meteor-strike")
+
+    def test_none_scenario_is_noop(self):
+        deployment = self._deployment()
+        assert apply_scenario(deployment, "none") == []
+        assert not deployment.network.failures.crashed_nodes
+
+    def test_one_backup(self):
+        deployment = self._deployment()
+        victims = apply_scenario(deployment, "one_backup")
+        assert victims == [replica_id(2, 4)]
+        assert deployment.network.failures.is_crashed(replica_id(2, 4))
+
+    def test_f_backups_per_cluster(self):
+        deployment = self._deployment()
+        victims = apply_scenario(deployment, "f_backups")
+        assert set(victims) == {replica_id(1, 4), replica_id(2, 4)}
+
+    def test_primary_failure_scheduled(self):
+        deployment = self._deployment()
+        victims = apply_scenario(deployment, "primary", fail_at=1.0)
+        assert victims == [replica_id(1, 1)]
+        assert not deployment.network.failures.is_crashed(replica_id(1, 1))
+        deployment.sim.run(until=1.5)
+        assert deployment.network.failures.is_crashed(replica_id(1, 1))
+
+    def test_victims_never_include_initial_primaries(self):
+        deployment = self._deployment()
+        victims = apply_scenario(deployment, "f_backups")
+        assert replica_id(1, 1) not in victims
+        assert replica_id(2, 1) not in victims
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bb"], [[1, 2.5], [10, 3.25]],
+                             title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_figure_series(self):
+        text = format_figure_series(
+            "Figure X", "z", [1, 2],
+            {"geobft": [10.0, 20.0], "pbft": [5.0, 4.0]}, "txn/s")
+        assert "Figure X" in text
+        assert "geobft" in text and "pbft" in text
+
+    def test_summarize_results(self):
+        result = run_experiment(ExperimentConfig(
+            protocol="pbft", num_clusters=2, replicas_per_cluster=4,
+            batch_size=3, clients_per_cluster=1, client_outstanding=2,
+            duration=1.2, warmup=0.3, record_count=100, fast_crypto=True,
+        ))
+        text = summarize_results([result])
+        assert "pbft" in text
+        assert "tput (txn/s)" in text
+
+
+class TestComplexityAnalysis:
+    def test_geobft_row_matches_paper_form(self):
+        row = analytic_complexity("geobft", z=4, n=7)
+        assert row.decisions_per_round == 4
+        assert row.centralized == "no"
+        # Global messages: z(z-1)(f+1) = 4*3*3 = 36.
+        assert row.global_messages == 36
+
+    def test_pbft_quadratic_in_total_replicas(self):
+        row = analytic_complexity("pbft", z=4, n=7)
+        assert row.global_messages == 2 * 28 * 28
+
+    def test_geobft_global_cost_beats_pbft(self):
+        """Table 2's headline: GeoBFT has the lowest global cost."""
+        for z in (2, 4, 6):
+            for n in (4, 7, 13):
+                geo = analytic_complexity("geobft", z, n)
+                pbft = analytic_complexity("pbft", z, n)
+                steward = analytic_complexity("steward", z, n)
+                assert (geo.per_decision_global()
+                        < pbft.per_decision_global())
+                assert (geo.per_decision_global()
+                        <= steward.per_decision_global() * z)
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ConfigurationError):
+            analytic_complexity("raft", 2, 4)
+
+    def test_measured_complexity(self):
+        result = measured_complexity(100, 50, decisions=10)
+        assert result["local_per_decision"] == 10.0
+        assert result["global_per_decision"] == 5.0
+        zero = measured_complexity(100, 50, decisions=0)
+        assert zero["global_per_decision"] == 0.0

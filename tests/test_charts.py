@@ -1,0 +1,69 @@
+"""Tests for the ASCII chart renderer."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bench.charts import ascii_chart, bar_chart
+
+
+class TestAsciiChart:
+    def test_contains_title_axis_and_legend(self):
+        text = ascii_chart(
+            "Figure X", "z", [1, 2, 3],
+            {"geobft": [10.0, 20.0, 30.0], "pbft": [30.0, 20.0, 10.0]},
+        )
+        assert "Figure X" in text
+        assert "(z)" in text
+        assert "o geobft" in text
+        assert "x pbft" in text
+
+    def test_max_value_labelled(self):
+        text = ascii_chart("T", "x", [1, 2], {"s": [5.0, 150_000.0]})
+        assert "150k" in text
+
+    def test_no_data(self):
+        assert "(no data)" in ascii_chart("T", "x", [], {})
+        assert "(no data)" in ascii_chart("T", "x", [1], {})
+
+    def test_glyphs_present_per_series(self):
+        text = ascii_chart("T", "x", [1, 2],
+                           {"a": [1.0, 2.0], "b": [2.0, 1.0],
+                            "c": [1.5, 1.5]})
+        for glyph in "ox+":
+            assert glyph in text
+
+    def test_zero_series_rendered(self):
+        text = ascii_chart("T", "x", [1, 2, 3], {"flat": [0.0, 0.0, 0.0]})
+        assert "flat" in text
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=12))
+    def test_never_crashes_and_fits_height(self, values):
+        text = ascii_chart("T", "x", list(range(len(values))),
+                           {"s": values}, height=8, width=30)
+        # title + 8 rows + axis + x labels + legend
+        assert len(text.splitlines()) == 12
+
+    def test_single_point(self):
+        text = ascii_chart("T", "x", [1], {"s": [42.0]})
+        assert "42" in text
+
+
+class TestBarChart:
+    def test_bars_scale_to_max(self):
+        text = bar_chart("T", ["a", "b"], [50.0, 100.0], width=10)
+        lines = text.splitlines()
+        assert lines[1].count("#") == 5
+        assert lines[2].count("#") == 10
+
+    def test_labels_and_values_shown(self):
+        text = bar_chart("Tput", ["geobft", "pbft"], [120_000.0, 30_000.0])
+        assert "geobft" in text and "pbft" in text
+        assert "120k" in text and "30k" in text
+
+    def test_empty(self):
+        assert "(no data)" in bar_chart("T", [], [])
+
+    def test_zero_values(self):
+        text = bar_chart("T", ["x"], [0.0])
+        assert "x" in text

@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.protocol == "geobft"
+        assert args.clusters == 2
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--protocol", "raft"])
+
+    def test_compare_protocol_list(self):
+        args = build_parser().parse_args(
+            ["compare", "--protocols", "geobft,pbft"])
+        assert args.protocols == ["geobft", "pbft"]
+
+
+class TestCommands:
+    def test_table1_prints_matrix(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "oregon" in out and "sydney" in out
+        assert "270" in out  # Belgium <-> Sydney RTT
+
+    def test_table2_prints_complexity(self, capsys):
+        assert main(["table2", "-z", "4", "-n", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "geobft" in out and "hotstuff" in out
+        assert "z=4, n=7" in out
+
+    def test_run_executes_experiment(self, capsys):
+        code = main([
+            "run", "-p", "geobft", "-z", "2", "-n", "4", "-b", "5",
+            "-d", "1.5", "-w", "0.3", "--clients", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "geobft" in out
+        assert "safety=ok" in out
+
+    def test_run_with_scenario(self, capsys):
+        code = main([
+            "run", "-p", "geobft", "-z", "2", "-n", "4", "-b", "5",
+            "-d", "2.0", "-w", "0.3", "--clients", "1",
+            "--scenario", "one_backup",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "crashing" in out
+
+    def test_compare_two_protocols(self, capsys):
+        code = main([
+            "compare", "--protocols", "geobft,pbft", "-z", "2", "-n", "4",
+            "-b", "5", "-d", "1.5", "-w", "0.3", "--clients", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "geobft" in out and "pbft" in out
+        assert "tput (txn/s)" in out
+
+
+class TestTrafficFlag:
+    def test_run_with_traffic_report(self, capsys):
+        code = main([
+            "run", "-p", "pbft", "-z", "2", "-n", "4", "-b", "5",
+            "-d", "1.2", "-w", "0.3", "--clients", "1", "--traffic",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-link traffic" in out
+        assert "oregon" in out

@@ -1,0 +1,164 @@
+"""Tests for the closed-loop quorum client."""
+
+import pytest
+
+from repro.consensus.messages import ClientReply, ClientRequestBatch
+from repro.crypto.signatures import KeyRegistry
+from repro.errors import ConfigurationError
+from repro.net.network import Network
+from repro.net.simulator import Simulation
+from repro.net.topology import Topology
+from repro.types import client_id, replica_id
+from repro.workload.client import QuorumClient
+from repro.workload.ycsb import YcsbWorkload
+
+
+class ScriptedReplica:
+    """Fake replica that replies to requests per a configurable policy."""
+
+    def __init__(self, node_id, region, network, respond=True,
+                 digest=b"results"):
+        self.node_id = node_id
+        self.region = region
+        self.network = network
+        self.respond = respond
+        self.digest = digest
+        self.requests = []
+        network.register(self)
+
+    def deliver(self, message, sender):
+        if not isinstance(message, ClientRequestBatch):
+            return
+        self.requests.append(message)
+        if not self.respond:
+            return
+        reply = ClientReply(message.batch_id, self.node_id, 1, 1,
+                            self.digest, len(message.batch))
+        self.network.send(self.node_id, message.client, reply)
+
+
+@pytest.fixture
+def rig():
+    sim = Simulation(seed=1)
+    topo = Topology.uniform(["r1"], rtt_ms=2.0)
+    net = Network(sim, topo)
+    registry = KeyRegistry()
+    replicas = [
+        ScriptedReplica(replica_id(1, i), "r1", net)
+        for i in range(1, 5)
+    ]
+    return sim, net, registry, replicas
+
+
+def make_client(sim, net, registry, replicas, **overrides):
+    kwargs = dict(
+        node_id=client_id(1, 1),
+        region="r1",
+        sim=sim,
+        network=net,
+        registry=registry,
+        workload=YcsbWorkload(record_count=100, seed=1),
+        batch_size=3,
+        primary_targets=[replicas[0].node_id],
+        fallback_targets=[r.node_id for r in replicas],
+        reply_quorum=2,
+        outstanding=2,
+        retry_timeout=0.5,
+    )
+    kwargs.update(overrides)
+    return QuorumClient(**kwargs)
+
+
+class TestClosedLoop:
+    def test_keeps_outstanding_batches_in_flight(self, rig):
+        sim, net, registry, replicas = rig
+        client = make_client(sim, net, registry, replicas, outstanding=3)
+        client.start()
+        sim.run(until=1.0)
+        assert client.completed_batches > 0
+        assert client.pending_batches == 3
+
+    def test_completion_needs_quorum_of_matching_replies(self, rig):
+        sim, net, registry, replicas = rig
+        # Only one replica responds: quorum of 2 never reached.
+        for replica in replicas[1:]:
+            replica.respond = False
+        client = make_client(sim, net, registry, replicas,
+                             retry_timeout=30.0)
+        client.start()
+        sim.run(until=1.0)
+        assert client.completed_batches == 0
+
+    def test_mismatched_digests_do_not_complete(self, rig):
+        sim, net, registry, replicas = rig
+        for i, replica in enumerate(replicas):
+            replica.digest = bytes([i]) * 4  # all different
+        client = make_client(sim, net, registry, replicas,
+                             retry_timeout=30.0)
+        client.start()
+        sim.run(until=1.0)
+        assert client.completed_batches == 0
+
+    def test_requests_are_signed(self, rig):
+        sim, net, registry, replicas = rig
+        client = make_client(sim, net, registry, replicas)
+        client.start()
+        sim.run(until=0.2)
+        request = replicas[0].requests[0]
+        assert request.signature is not None
+        unsigned = ClientRequestBatch(request.batch_id, request.client,
+                                      request.batch, None)
+        assert registry.verify(unsigned.payload(), request.signature)
+
+    def test_retry_broadcasts_to_fallback_targets(self, rig):
+        sim, net, registry, replicas = rig
+        replicas[0].respond = False  # primary silent
+        client = make_client(sim, net, registry, replicas, reply_quorum=2)
+        client.start()
+        sim.run(until=2.0)
+        # After the timeout, backups received the retransmission and
+        # replied; quorum reached without the primary.
+        assert client.completed_batches > 0
+        assert all(r.requests for r in replicas[1:])
+
+    def test_max_batches_bounds_submission(self, rig):
+        sim, net, registry, replicas = rig
+        client = make_client(sim, net, registry, replicas, max_batches=5,
+                             outstanding=2)
+        client.start()
+        sim.run(until=3.0)
+        assert client.submitted_batches == 5
+        assert client.completed_batches == 5
+
+    def test_start_is_idempotent(self, rig):
+        sim, net, registry, replicas = rig
+        client = make_client(sim, net, registry, replicas, outstanding=2)
+        client.start()
+        client.start()
+        assert client.pending_batches == 2
+
+    def test_replies_from_impersonators_ignored(self, rig):
+        sim, net, registry, replicas = rig
+        client = make_client(sim, net, registry, replicas, reply_quorum=2)
+        client.start()
+        sim.run(until=0.01)
+        # replica 4 sends replies claiming to be replica 3.
+        batch_id = f"{client.node_id}:0"
+        forged = ClientReply(batch_id, replicas[2].node_id, 1, 1, b"x", 3)
+        net.send(replicas[3].node_id, client.node_id, forged)
+        net.send(replicas[3].node_id, client.node_id, forged)
+        sim.run(until=0.02)
+        # No completion from forged replies alone with unique digest b"x".
+        assert all(
+            b"x" not in votes
+            for votes in (p.votes for p in client._pending.values())
+        ) or client.completed_batches == 0
+
+    def test_validation_of_parameters(self, rig):
+        sim, net, registry, replicas = rig
+        with pytest.raises(ConfigurationError):
+            make_client(sim, net, registry, replicas, batch_size=0)
+        with pytest.raises(ConfigurationError):
+            make_client(sim, net, registry, replicas, reply_quorum=0)
+        with pytest.raises(ConfigurationError):
+            make_client(sim, net, registry, replicas, outstanding=0)

@@ -1,0 +1,108 @@
+"""Tests for canonical encoding and SHA256 digests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.digests import DIGEST_SIZE, digest, digest_of, encode_canonical
+from repro.errors import CryptoError
+
+# Strategy for canonically encodable payload trees.
+primitives = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2 ** 63), max_value=2 ** 63),
+    st.text(max_size=30),
+    st.binary(max_size=30),
+)
+payloads = st.recursive(
+    primitives,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4).map(tuple),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+class TestCanonicalEncoding:
+    def test_dict_order_independent(self):
+        assert (encode_canonical({"a": 1, "b": 2})
+                == encode_canonical({"b": 2, "a": 1}))
+
+    def test_type_tags_distinguish_int_and_str(self):
+        assert encode_canonical(1) != encode_canonical("1")
+
+    def test_nested_structures(self):
+        value = {"k": (1, "two", b"three", None, True)}
+        assert encode_canonical(value) == encode_canonical(dict(value))
+
+    def test_list_and_tuple_encode_identically(self):
+        assert encode_canonical([1, 2]) == encode_canonical((1, 2))
+
+    def test_bool_and_int_distinguished(self):
+        assert encode_canonical(True) != encode_canonical(1)
+        assert encode_canonical(False) != encode_canonical(0)
+
+    def test_length_prefix_prevents_ambiguity(self):
+        assert encode_canonical(("ab", "c")) != encode_canonical(("a", "bc"))
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(CryptoError):
+            encode_canonical(object())
+
+    def test_object_with_payload_method(self):
+        class Msg:
+            def payload(self):
+                return ("m", 1)
+
+        assert encode_canonical(Msg()) == encode_canonical(("m", 1))
+
+    @given(payloads)
+    def test_encoding_is_deterministic(self, value):
+        assert encode_canonical(value) == encode_canonical(value)
+
+
+class TestDigests:
+    def test_digest_size(self):
+        assert len(digest(b"abc")) == DIGEST_SIZE
+        assert len(digest_of(("x", 1))) == DIGEST_SIZE
+
+    def test_digest_of_equal_payloads_match(self):
+        assert digest_of({"a": 1, "b": 2}) == digest_of({"b": 2, "a": 1})
+
+    def test_digest_of_different_payloads_differ(self):
+        assert digest_of((1, 2)) != digest_of((2, 1))
+
+    def test_digest_matches_hashlib(self):
+        import hashlib
+        assert digest(b"hello") == hashlib.sha256(b"hello").digest()
+
+    @given(payloads, payloads)
+    def test_digest_agrees_with_canonical_encoding(self, a, b):
+        """Digests collide exactly when canonical encodings collide
+        (i.e. only via SHA256 itself)."""
+        same_encoding = encode_canonical(a) == encode_canonical(b)
+        same_digest = digest_of(a) == digest_of(b)
+        assert same_encoding == same_digest
+
+    @given(payloads, payloads)
+    def test_encoding_injective_on_distinct_structures(self, a, b):
+        """Structurally distinct payloads encode differently.
+
+        ``bool`` vs ``int`` equality (True == 1) is the one place where
+        Python equality is coarser than structure, so compare via repr
+        of the type-annotated trees.
+        """
+        def norm(v):
+            if isinstance(v, bool):
+                return ("bool", v)
+            if isinstance(v, (tuple, list)):
+                return ("seq", tuple(norm(x) for x in v))
+            if isinstance(v, dict):
+                return ("map", tuple(sorted(
+                    (k, norm(x)) for k, x in v.items())))
+            return (type(v).__name__, v)
+
+        if norm(a) != norm(b):
+            assert encode_canonical(a) != encode_canonical(b)

@@ -1,0 +1,95 @@
+"""Tests for (k, n) threshold signatures."""
+
+import pytest
+
+from repro.crypto.threshold import (
+    THRESHOLD_SIGNATURE_SIZE,
+    SignatureShare,
+    ThresholdScheme,
+)
+from repro.errors import CryptoError
+from repro.types import replica_id
+
+MEMBERS = [replica_id(1, i) for i in range(1, 8)]  # n = 7
+K = 5  # n - f
+
+
+@pytest.fixture
+def scheme():
+    return ThresholdScheme("cluster-1", MEMBERS, K)
+
+
+def make_shares(scheme, payload, count):
+    return [
+        scheme.share_signer(member)(payload)
+        for member in MEMBERS[:count]
+    ]
+
+
+class TestThresholdScheme:
+    def test_combine_with_exactly_k_shares(self, scheme):
+        shares = make_shares(scheme, "payload", K)
+        sig = scheme.combine(shares, "payload")
+        assert scheme.verify(sig, "payload")
+
+    def test_combine_with_more_than_k_shares(self, scheme):
+        shares = make_shares(scheme, "payload", 7)
+        assert scheme.verify(scheme.combine(shares, "payload"), "payload")
+
+    def test_combine_fails_below_threshold(self, scheme):
+        shares = make_shares(scheme, "payload", K - 1)
+        with pytest.raises(CryptoError):
+            scheme.combine(shares, "payload")
+
+    def test_duplicate_shares_do_not_count_twice(self, scheme):
+        one = scheme.share_signer(MEMBERS[0])("p")
+        with pytest.raises(CryptoError):
+            scheme.combine([one] * K, "p")
+
+    def test_invalid_shares_rejected(self, scheme):
+        shares = make_shares(scheme, "p", K - 1)
+        bogus = SignatureShare(MEMBERS[6], b"\x00" * 32)
+        with pytest.raises(CryptoError):
+            scheme.combine(shares + [bogus], "p")
+
+    def test_share_for_wrong_payload_rejected(self, scheme):
+        shares = make_shares(scheme, "p", K - 1)
+        wrong = scheme.share_signer(MEMBERS[6])("other")
+        with pytest.raises(CryptoError):
+            scheme.combine(shares + [wrong], "p")
+
+    def test_verify_share(self, scheme):
+        share = scheme.share_signer(MEMBERS[0])("p")
+        assert scheme.verify_share(share, "p")
+        assert not scheme.verify_share(share, "q")
+
+    def test_verify_rejects_wrong_payload(self, scheme):
+        sig = scheme.combine(make_shares(scheme, "p", K), "p")
+        assert not scheme.verify(sig, "q")
+
+    def test_verify_rejects_foreign_group(self, scheme):
+        other = ThresholdScheme("cluster-2", MEMBERS, K)
+        sig = other.combine(
+            [other.share_signer(m)("p") for m in MEMBERS[:K]], "p"
+        )
+        assert not scheme.verify(sig, "p")
+
+    def test_non_member_cannot_get_signer(self, scheme):
+        with pytest.raises(CryptoError):
+            scheme.share_signer(replica_id(9, 9))
+
+    def test_constant_signature_size(self, scheme):
+        """The whole point (§2.2): certificate proof size independent of
+        n and f."""
+        sig = scheme.combine(make_shares(scheme, "p", K), "p")
+        assert sig.size_bytes() == THRESHOLD_SIGNATURE_SIZE
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(CryptoError):
+            ThresholdScheme("g", MEMBERS, 0)
+        with pytest.raises(CryptoError):
+            ThresholdScheme("g", MEMBERS, len(MEMBERS) + 1)
+
+    def test_accessors(self, scheme):
+        assert scheme.group == "cluster-1"
+        assert scheme.k == K

@@ -1,0 +1,59 @@
+"""Smoke tests: every example script runs to completion and prints its
+key results.  Examples are part of the public surface — they must not
+rot."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: float = 600.0) -> str:
+    script = EXAMPLES / name
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "GeoBFT quickstart" in out
+        assert "prefix-consistent" in out and "True" in out
+        assert "safety=ok" in out
+
+    def test_failure_resilience(self):
+        out = run_example("failure_resilience.py")
+        assert "Safety audit (Theorem 2.8): PASS" in out
+        assert "Oregon's primary is now" in out
+        # The Byzantine primary was deposed.
+        assert "view=0" not in out
+
+    def test_payment_network(self):
+        out = run_example("payment_network.py")
+        assert "safety audit        : PASS" in out
+        assert "(expected 1)" in out
+        assert "digests across" in out
+
+    def test_geo_scale_comparison(self):
+        out = run_example("geo_scale_comparison.py")
+        assert "GeoBFT vs PBFT at 4 regions" in out
+        assert "geobft" in out
+
+    def test_replica_recovery(self):
+        out = run_example("replica_recovery.py")
+        assert "recovered: audited and adopted" in out
+        assert "state digest matches peer: True" in out
+        assert "tampered source rejected as expected" in out
+
+    def test_throughput_anatomy(self):
+        out = run_example("throughput_anatomy.py")
+        assert "busiest WAN sender region : oregon" in out
+        assert "fewer WAN" in out

@@ -1,0 +1,175 @@
+"""Tests for blocks and the blockchain."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import LedgerError, TamperedLedgerError
+from repro.ledger.block import (
+    GENESIS_HASH,
+    Block,
+    Transaction,
+    batch_digest,
+    make_block,
+)
+from repro.ledger.blockchain import Blockchain
+
+
+def batch(*ids):
+    return tuple(Transaction(i, "update", 1, "v") for i in ids)
+
+
+class TestTransactions:
+    def test_noop(self):
+        txn = Transaction.noop("n1")
+        assert txn.op == "noop"
+        assert txn.payload()[0] == "txn"
+
+    def test_batch_digest_depends_on_content(self):
+        assert batch_digest(batch("a", "b")) != batch_digest(batch("b", "a"))
+        assert batch_digest(batch("a")) == batch_digest(batch("a"))
+
+
+class TestBlocks:
+    def test_make_block_links_genesis(self):
+        block = make_block(0, 1, 1, batch("a"), ("cert",), None)
+        assert block.prev_hash == GENESIS_HASH
+
+    def test_block_hash_covers_batch(self):
+        b1 = make_block(0, 1, 1, batch("a"), ("cert",), None)
+        b2 = make_block(0, 1, 1, batch("b"), ("cert",), None)
+        assert b1.block_hash() != b2.block_hash()
+
+    def test_block_hash_ignores_certificate_representation(self):
+        """Different (equally valid) certificates must not diverge the
+        hash chain across replicas (Lemma 2.3 discussion in block.py)."""
+        b1 = make_block(0, 1, 1, batch("a"), ("cert-variant-1",), None)
+        b2 = make_block(0, 1, 1, batch("a"), ("cert-variant-2",), None)
+        assert b1.block_hash() == b2.block_hash()
+        assert b1.certificate_digest != b2.certificate_digest
+
+
+class TestBlockchain:
+    def test_append_and_height(self):
+        chain = Blockchain()
+        assert chain.height == 0
+        chain.append(1, 1, batch("a"), ("cert",))
+        chain.append(1, 2, batch("b"), ("cert",))
+        assert chain.height == 2
+        assert len(chain) == 2
+
+    def test_blocks_link(self):
+        chain = Blockchain()
+        b1 = chain.append(1, 1, batch("a"), ("cert",))
+        b2 = chain.append(1, 2, batch("b"), ("cert",))
+        assert b2.prev_hash == b1.block_hash()
+        assert chain.head_hash == b2.block_hash()
+
+    def test_verify_accepts_untouched_chain(self):
+        chain = Blockchain()
+        for i in range(10):
+            chain.append(i, 1, batch(f"t{i}"), ("cert", i))
+        chain.verify()
+
+    def test_verify_detects_content_tampering(self):
+        chain = Blockchain()
+        chain.append(1, 1, batch("a"), ("cert",))
+        chain.append(1, 2, batch("b"), ("cert",))
+        original = chain.block(0)
+        tampered = Block(
+            original.height, original.round_id, original.cluster_id,
+            batch("evil"), original.batch_digest,
+            original.certificate_digest, original.prev_hash,
+        )
+        chain.tamper_for_test(0, tampered)
+        with pytest.raises(TamperedLedgerError):
+            chain.verify()
+
+    def test_shallow_verify_checks_chain_structure_only(self):
+        """deep=False validates links/hashes but not batch content —
+        it is the cheap audit used during benchmark runs."""
+        chain = Blockchain()
+        chain.append(1, 1, batch("a"), ("cert",))
+        original = chain.block(0)
+        tampered = Block(
+            original.height, original.round_id, original.cluster_id,
+            batch("evil"), original.batch_digest,
+            original.certificate_digest, original.prev_hash,
+        )
+        chain.tamper_for_test(0, tampered)
+        chain.verify(deep=False)  # structure intact
+        with pytest.raises(TamperedLedgerError):
+            chain.verify(deep=True)
+
+    def test_verify_detects_digest_tampering(self):
+        """Changing the stored batch digest breaks the block hash."""
+        chain = Blockchain()
+        chain.append(1, 1, batch("a"), ("cert",))
+        original = chain.block(0)
+        tampered = Block(
+            original.height, original.round_id, original.cluster_id,
+            original.batch, b"\x00" * 32,
+            original.certificate_digest, original.prev_hash,
+        )
+        chain.tamper_for_test(0, tampered)
+        with pytest.raises(TamperedLedgerError):
+            chain.verify(deep=False)
+
+    def test_verify_detects_reordering(self):
+        chain = Blockchain()
+        chain.append(1, 1, batch("a"), ("cert",))
+        chain.append(1, 2, batch("b"), ("cert",))
+        b0, b1 = chain.block(0), chain.block(1)
+        chain.tamper_for_test(0, b1)
+        chain.tamper_for_test(1, b0)
+        with pytest.raises(TamperedLedgerError):
+            chain.verify()
+
+    def test_certificate_retained(self):
+        chain = Blockchain()
+        chain.append(1, 1, batch("a"), ("cert", 42))
+        assert chain.certificate(0) == ("cert", 42)
+
+    def test_out_of_range_access(self):
+        chain = Blockchain()
+        with pytest.raises(LedgerError):
+            chain.block(0)
+        with pytest.raises(LedgerError):
+            chain.certificate(3)
+
+    def test_prefix_comparison(self):
+        long_chain = Blockchain()
+        short_chain = Blockchain()
+        for i in range(5):
+            long_chain.append(i, 1, batch(f"t{i}"), ("c",))
+            if i < 3:
+                short_chain.append(i, 1, batch(f"t{i}"), ("c",))
+        assert short_chain.matches_prefix_of(long_chain)
+        assert not long_chain.matches_prefix_of(short_chain)
+
+    def test_diverged_chains_not_prefix(self):
+        a = Blockchain()
+        b = Blockchain()
+        a.append(1, 1, batch("x"), ("c",))
+        b.append(1, 1, batch("y"), ("c",))
+        assert not a.matches_prefix_of(b)
+
+    def test_empty_chain_is_prefix_of_anything(self):
+        a = Blockchain()
+        b = Blockchain()
+        b.append(1, 1, batch("x"), ("c",))
+        assert a.matches_prefix_of(b)
+        assert a.last_block() is None
+        assert b.last_block() is not None
+
+    @given(st.lists(st.text(min_size=1, max_size=6), min_size=1,
+                    max_size=20, unique=True))
+    def test_same_appends_same_head(self, ids):
+        def build():
+            chain = Blockchain()
+            for i, txn_id in enumerate(ids):
+                chain.append(i, 1, batch(txn_id), ("c", i))
+            return chain
+
+        assert build().head_hash == build().head_hash
+        build().verify()

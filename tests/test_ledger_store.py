@@ -1,0 +1,125 @@
+"""Tests for the YCSB store and the execution engine."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.ledger.block import Transaction
+from repro.ledger.execution import ExecutionEngine
+from repro.ledger.store import YcsbStore
+
+
+class TestYcsbStore:
+    def test_unwritten_records_have_deterministic_initial_values(self):
+        s1, s2 = YcsbStore(100), YcsbStore(100)
+        assert s1.read(42) == s2.read(42)
+
+    def test_update_then_read(self):
+        store = YcsbStore(100)
+        store.update(5, "hello")
+        assert store.read(5) == "hello"
+
+    def test_insert_behaves_as_update(self):
+        store = YcsbStore(100)
+        store.insert(7, "x")
+        assert store.read(7) == "x"
+
+    def test_modify_appends(self):
+        store = YcsbStore(100)
+        first = store.read(3)
+        result = store.modify(3, "s")
+        assert result == first + "|s"
+        assert store.read(3) == result
+
+    def test_scan(self):
+        store = YcsbStore(10)
+        store.update(8, "v8")
+        rows = store.scan(7, 5)
+        assert [k for k, _ in rows] == [7, 8, 9]
+        assert dict(rows)[8] == "v8"
+
+    def test_key_bounds_enforced(self):
+        store = YcsbStore(10)
+        with pytest.raises(WorkloadError):
+            store.read(10)
+        with pytest.raises(WorkloadError):
+            store.update(-1, "x")
+        with pytest.raises(WorkloadError):
+            store.scan(0, -1)
+
+    def test_invalid_record_count(self):
+        with pytest.raises(WorkloadError):
+            YcsbStore(0)
+
+    def test_counters(self):
+        store = YcsbStore(10)
+        store.read(1)
+        store.update(1, "a")
+        assert store.read_count == 1
+        assert store.write_count == 1
+
+    def test_state_digest_tracks_content(self):
+        s1, s2 = YcsbStore(100), YcsbStore(100)
+        assert s1.state_digest() == s2.state_digest()
+        s1.update(1, "x")
+        assert s1.state_digest() != s2.state_digest()
+        s2.update(1, "x")
+        assert s1.state_digest() == s2.state_digest()
+
+    def test_snapshot_restore(self):
+        store = YcsbStore(100)
+        store.update(1, "a")
+        snap = store.snapshot()
+        store.update(1, "b")
+        store.restore(snap)
+        assert store.read(1) == "a"
+
+    @given(st.lists(st.tuples(st.integers(0, 99), st.text(max_size=5)),
+                    max_size=30))
+    def test_digest_independent_of_write_order_for_final_state(self, writes):
+        """Digest is a function of final state, not write history."""
+        s1, s2 = YcsbStore(100), YcsbStore(100)
+        for key, value in writes:
+            s1.update(key, value)
+        # Apply only last-write-wins state to s2.
+        final = {}
+        for key, value in writes:
+            final[key] = value
+        for key, value in final.items():
+            s2.update(key, value)
+        assert s1.state_digest() == s2.state_digest()
+
+
+class TestExecutionEngine:
+    def test_executes_each_op(self):
+        engine = ExecutionEngine(YcsbStore(100))
+        assert engine.execute_txn(Transaction("t1", "update", 1, "v")) == "ok"
+        assert engine.execute_txn(Transaction("t2", "read", 1)) == "v"
+        assert engine.execute_txn(Transaction("t3", "insert", 2, "w")) == "ok"
+        assert engine.execute_txn(
+            Transaction("t4", "modify", 2, "s")) == "w|s"
+        assert engine.execute_txn(Transaction.noop()) == "ok"
+        assert engine.executed_txns == 5
+
+    def test_unknown_op_rejected(self):
+        engine = ExecutionEngine(YcsbStore(10))
+        with pytest.raises(WorkloadError):
+            engine.execute_txn(Transaction("t", "drop-table", 0, ""))
+
+    def test_determinism_across_engines(self):
+        """§2.4: identical inputs produce identical outputs and state."""
+        batch = tuple(
+            Transaction(f"t{i}", "modify", i % 5, f"s{i}") for i in range(20)
+        )
+        e1 = ExecutionEngine(YcsbStore(100))
+        e2 = ExecutionEngine(YcsbStore(100))
+        r1 = e1.execute_batch(batch)
+        r2 = e2.execute_batch(batch)
+        assert r1 == r2
+        assert e1.state_digest() == e2.state_digest()
+        assert e1.results_digest(r1) == e2.results_digest(r2)
+
+    def test_results_digest_sensitive_to_results(self):
+        engine = ExecutionEngine(YcsbStore(10))
+        assert engine.results_digest(["a"]) != engine.results_digest(["b"])

@@ -1,0 +1,76 @@
+"""Tests for the failure model in isolation."""
+
+from repro.net.failures import FailureModel
+from repro.types import replica_id
+
+A = replica_id(1, 1)
+B = replica_id(1, 2)
+
+
+class TestCrashes:
+    def test_crash_and_recover(self):
+        fm = FailureModel()
+        assert not fm.is_crashed(A)
+        fm.crash(A)
+        assert fm.is_crashed(A)
+        assert fm.suppresses_send(A, B, None)
+        assert fm.drops_at_receiver(B, A, None)
+        fm.recover(A)
+        assert not fm.is_crashed(A)
+        assert not fm.suppresses_send(A, B, None)
+
+    def test_crashed_nodes_snapshot(self):
+        fm = FailureModel()
+        fm.crash(A)
+        snapshot = fm.crashed_nodes
+        fm.crash(B)
+        assert A in snapshot and B not in snapshot
+
+    def test_crash_idempotent(self):
+        fm = FailureModel()
+        fm.crash(A)
+        fm.crash(A)
+        assert fm.crashed_nodes == frozenset({A})
+
+
+class TestPartitions:
+    def test_sever_is_directed(self):
+        fm = FailureModel()
+        fm.sever(A, B)
+        assert fm.drops_in_flight(A, B, None)
+        assert not fm.drops_in_flight(B, A, None)
+
+    def test_sever_bidirectional(self):
+        fm = FailureModel()
+        fm.sever_bidirectional(A, B)
+        assert fm.drops_in_flight(A, B, None)
+        assert fm.drops_in_flight(B, A, None)
+
+    def test_heal(self):
+        fm = FailureModel()
+        fm.sever(A, B)
+        fm.heal(A, B)
+        assert not fm.drops_in_flight(A, B, None)
+
+
+class TestRules:
+    def test_send_rule_matching(self):
+        fm = FailureModel()
+        fm.add_send_rule(lambda s, d, m: m == "drop-me")
+        assert fm.suppresses_send(A, B, "drop-me")
+        assert not fm.suppresses_send(A, B, "keep-me")
+
+    def test_remove_rules_idempotent(self):
+        fm = FailureModel()
+        rule = fm.add_send_rule(lambda s, d, m: True)
+        fm.remove_send_rule(rule)
+        fm.remove_send_rule(rule)
+        assert not fm.suppresses_send(A, B, None)
+
+    def test_receive_rule_matching(self):
+        fm = FailureModel()
+        rule = fm.add_receive_rule(lambda s, d, m: s == A)
+        assert fm.drops_at_receiver(A, B, None)
+        assert not fm.drops_at_receiver(B, A, None)
+        fm.remove_receive_rule(rule)
+        assert not fm.drops_at_receiver(A, B, None)

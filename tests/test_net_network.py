@@ -1,0 +1,252 @@
+"""Tests for the network model: latency, uplink serialization, drops."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.network import Network
+from repro.net.simulator import Simulation
+from repro.net.topology import Topology
+from repro.types import NodeId, replica_id
+
+
+class FakeMessage:
+    def __init__(self, size: int = 1000):
+        self._size = size
+
+    def size_bytes(self) -> int:
+        return self._size
+
+
+class FakeNode:
+    def __init__(self, node_id: NodeId, region: str):
+        self.node_id = node_id
+        self.region = region
+        self.received = []
+
+    def deliver(self, message, sender):
+        self.received.append((message, sender))
+
+
+@pytest.fixture
+def wan():
+    # 100 ms RTT across regions, 1 ms local; 8 Mbit/s = 1 MB/s links so
+    # transmission times are easy to compute.
+    return Topology.custom(
+        ["west", "east"],
+        {("west", "west"): 1.0, ("east", "east"): 1.0,
+         ("west", "east"): 100.0},
+        {("west", "west"): 8.0, ("east", "east"): 8.0, ("west", "east"): 8.0},
+    )
+
+
+@pytest.fixture
+def setup(wan):
+    sim = Simulation()
+    net = Network(sim, wan)
+    a = FakeNode(replica_id(1, 1), "west")
+    b = FakeNode(replica_id(2, 1), "east")
+    c = FakeNode(replica_id(2, 2), "east")
+    for node in (a, b, c):
+        net.register(node)
+    return sim, net, a, b, c
+
+
+class TestDeliveryTiming:
+    def test_latency_plus_transmission(self, setup):
+        sim, net, a, b, _c = setup
+        net.send(a.node_id, b.node_id, FakeMessage(size=1_000_000))
+        sim.run()
+        # 1 MB at 1 MB/s = 1 s transmit + 0.05 s one-way latency.
+        assert sim.now == pytest.approx(1.05)
+        assert len(b.received) == 1
+
+    def test_uplink_serializes_same_region_sends(self, setup):
+        """Two messages to the same region share the sender's uplink."""
+        sim, net, a, b, c = setup
+        arrivals = {}
+        net.send(a.node_id, b.node_id, FakeMessage(size=1_000_000))
+        net.send(a.node_id, c.node_id, FakeMessage(size=1_000_000))
+        sim.run()
+        # First arrives at 1.05; second waits for the uplink: 2 s
+        # serialization + 0.05 latency = 2.05.
+        assert sim.now == pytest.approx(2.05)
+
+    def test_different_region_uplinks_are_parallel(self, wan):
+        sim = Simulation()
+        net = Network(sim, wan)
+        a = FakeNode(replica_id(1, 1), "west")
+        local = FakeNode(replica_id(1, 2), "west")
+        remote = FakeNode(replica_id(2, 1), "east")
+        for node in (a, local, remote):
+            net.register(node)
+        net.send(a.node_id, remote.node_id, FakeMessage(size=1_000_000))
+        net.send(a.node_id, local.node_id, FakeMessage(size=1_000_000))
+        sim.run()
+        # Local link is independent: it does not queue behind the remote
+        # transfer; total time is the slower of the two, not the sum.
+        assert sim.now == pytest.approx(1.05)
+
+    def test_self_send_is_immediate(self, setup):
+        sim, net, a, _b, _c = setup
+        net.send(a.node_id, a.node_id, FakeMessage())
+        sim.run()
+        assert sim.now == 0.0
+        assert len(a.received) == 1
+
+    def test_multicast_reaches_all(self, setup):
+        sim, net, a, b, c = setup
+        net.multicast(a.node_id, [b.node_id, c.node_id], FakeMessage(100))
+        sim.run()
+        assert len(b.received) == 1
+        assert len(c.received) == 1
+
+    def test_sender_recorded(self, setup):
+        sim, net, a, b, _c = setup
+        net.send(a.node_id, b.node_id, FakeMessage(10))
+        sim.run()
+        assert b.received[0][1] == a.node_id
+
+
+class TestRegistration:
+    def test_unknown_region_rejected(self, setup):
+        _sim, net, *_ = setup
+        with pytest.raises(ConfigurationError):
+            net.register(FakeNode(replica_id(3, 1), "mars"))
+
+    def test_duplicate_id_rejected(self, setup):
+        _sim, net, a, *_ = setup
+        with pytest.raises(ConfigurationError):
+            net.register(FakeNode(a.node_id, "west"))
+
+    def test_unknown_node_lookup_rejected(self, setup):
+        _sim, net, *_ = setup
+        with pytest.raises(ConfigurationError):
+            net.node(replica_id(9, 9))
+
+    def test_known_nodes(self, setup):
+        _sim, net, a, b, c = setup
+        assert set(net.known_nodes()) == {a.node_id, b.node_id, c.node_id}
+
+
+class TestObserversAndFailures:
+    def test_observer_sees_sends_with_locality(self, setup):
+        sim, net, a, b, _c = setup
+        seen = []
+        net.add_observer(lambda s, d, m, size, local:
+                         seen.append((s, d, size, local)))
+        net.send(a.node_id, b.node_id, FakeMessage(77))
+        sim.run()
+        assert seen == [(a.node_id, b.node_id, 77, False)]
+
+    def test_crashed_sender_sends_nothing(self, setup):
+        sim, net, a, b, _c = setup
+        net.failures.crash(a.node_id)
+        net.send(a.node_id, b.node_id, FakeMessage())
+        sim.run()
+        assert b.received == []
+
+    def test_crashed_receiver_gets_nothing(self, setup):
+        sim, net, a, b, _c = setup
+        net.failures.crash(b.node_id)
+        net.send(a.node_id, b.node_id, FakeMessage())
+        sim.run()
+        assert b.received == []
+
+    def test_severed_link_drops_in_flight(self, setup):
+        sim, net, a, b, c = setup
+        net.failures.sever(a.node_id, b.node_id)
+        net.send(a.node_id, b.node_id, FakeMessage(100))
+        net.send(a.node_id, c.node_id, FakeMessage(100))
+        sim.run()
+        assert b.received == []
+        assert len(c.received) == 1
+
+    def test_send_rule_suppresses_at_sender(self, setup):
+        sim, net, a, b, c = setup
+        net.failures.add_send_rule(
+            lambda src, dst, msg: dst == b.node_id
+        )
+        net.send(a.node_id, b.node_id, FakeMessage(100))
+        net.send(a.node_id, c.node_id, FakeMessage(100))
+        sim.run()
+        assert b.received == []
+        assert len(c.received) == 1
+
+    def test_suppressed_send_consumes_no_uplink(self, setup):
+        """A Byzantine sender that omits a message spends no bandwidth."""
+        sim, net, a, b, c = setup
+        net.failures.add_send_rule(lambda s, d, m: d == b.node_id)
+        net.send(a.node_id, b.node_id, FakeMessage(size=1_000_000))
+        net.send(a.node_id, c.node_id, FakeMessage(size=1_000_000))
+        sim.run()
+        assert sim.now == pytest.approx(1.05)  # no queueing behind drop
+
+    def test_receive_rule_drops_at_receiver(self, setup):
+        sim, net, a, b, _c = setup
+        rule = net.failures.add_receive_rule(
+            lambda src, dst, msg: dst == b.node_id
+        )
+        net.send(a.node_id, b.node_id, FakeMessage(10))
+        sim.run()
+        assert b.received == []
+        net.failures.remove_receive_rule(rule)
+        net.send(a.node_id, b.node_id, FakeMessage(10))
+        sim.run()
+        assert len(b.received) == 1
+
+    def test_uplink_backlog_diagnostic(self, setup):
+        sim, net, a, b, _c = setup
+        net.send(a.node_id, b.node_id, FakeMessage(size=2_000_000))
+        assert net.uplink_backlog(a.node_id, "east") == pytest.approx(2.0)
+        assert net.uplink_backlog(a.node_id, "west") == 0.0
+
+
+class TestSharedWanEgress:
+    """Cross-region sends share one egress pipe per sender (the NIC),
+    while local traffic has its own lane — the constraint that makes a
+    single-primary protocol plateau (Figure 13)."""
+
+    @pytest.fixture
+    def tri(self):
+        topo = Topology.custom(
+            ["a", "b", "c"],
+            {("a", "a"): 1.0, ("b", "b"): 1.0, ("c", "c"): 1.0,
+             ("a", "b"): 100.0, ("a", "c"): 100.0, ("b", "c"): 100.0},
+            # 8 Mbit/s = 1 MB/s on every pair for easy arithmetic.
+            {("a", "a"): 8.0, ("b", "b"): 8.0, ("c", "c"): 8.0,
+             ("a", "b"): 8.0, ("a", "c"): 8.0, ("b", "c"): 8.0},
+        )
+        sim = Simulation()
+        net = Network(sim, topo)
+        src = FakeNode(replica_id(1, 1), "a")
+        local = FakeNode(replica_id(1, 2), "a")
+        in_b = FakeNode(replica_id(2, 1), "b")
+        in_c = FakeNode(replica_id(3, 1), "c")
+        for node in (src, local, in_b, in_c):
+            net.register(node)
+        return sim, net, src, local, in_b, in_c
+
+    def test_sends_to_different_remote_regions_serialize(self, tri):
+        sim, net, src, _local, in_b, in_c = tri
+        net.send(src.node_id, in_b.node_id, FakeMessage(size=1_000_000))
+        net.send(src.node_id, in_c.node_id, FakeMessage(size=1_000_000))
+        sim.run()
+        # Second transfer queues behind the first on the shared egress:
+        # 2 s serialization + 0.05 s propagation.
+        assert sim.now == pytest.approx(2.05)
+
+    def test_local_traffic_bypasses_wan_egress(self, tri):
+        sim, net, src, local, in_b, _in_c = tri
+        net.send(src.node_id, in_b.node_id, FakeMessage(size=1_000_000))
+        net.send(src.node_id, local.node_id, FakeMessage(size=1_000_000))
+        sim.run()
+        # The local copy does not wait for the WAN transfer.
+        assert sim.now == pytest.approx(1.05)
+
+    def test_wan_backlog_reported(self, tri):
+        _sim, net, src, _local, in_b, in_c = tri
+        net.send(src.node_id, in_b.node_id, FakeMessage(size=2_000_000))
+        assert net.uplink_backlog(src.node_id, "b") == pytest.approx(2.0)
+        # Shared pipe: the backlog shows for any remote region.
+        assert net.uplink_backlog(src.node_id, "c") == pytest.approx(2.0)
+        assert net.uplink_backlog(src.node_id, "a") == 0.0

@@ -1,0 +1,177 @@
+"""Tests for the discrete-event simulator."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.net.simulator import Simulation
+
+
+class TestScheduling:
+    def test_starts_at_zero(self):
+        assert Simulation().now == 0.0
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulation()
+        fired = []
+        sim.schedule(2.0, fired.append, "late")
+        sim.schedule(1.0, fired.append, "early")
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_equal_times_fire_in_scheduling_order(self):
+        sim = Simulation()
+        fired = []
+        for i in range(10):
+            sim.schedule(1.0, fired.append, i)
+        sim.run()
+        assert fired == list(range(10))
+
+    def test_now_advances_to_event_time(self):
+        sim = Simulation()
+        seen = []
+        sim.schedule(3.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [3.5]
+
+    def test_nested_scheduling(self):
+        sim = Simulation()
+        fired = []
+
+        def outer():
+            fired.append("outer")
+            sim.schedule(1.0, fired.append, "inner")
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert fired == ["outer", "inner"]
+        assert sim.now == 2.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulation().schedule(-0.1, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulation()
+        seen = []
+        sim.schedule_at(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+
+    def test_zero_delay_runs_after_current_instant_fifo(self):
+        sim = Simulation()
+        fired = []
+        sim.schedule(0.0, fired.append, 1)
+        sim.schedule(0.0, fired.append, 2)
+        sim.run()
+        assert fired == [1, 2]
+
+
+class TestRunControl:
+    def test_run_until_stops_clock(self):
+        sim = Simulation()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(5.0, fired.append, "b")
+        sim.run(until=2.0)
+        assert fired == ["a"]
+        assert sim.now == 2.0
+        assert sim.pending_events == 1
+
+    def test_run_until_resumable(self):
+        sim = Simulation()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(5.0, fired.append, "b")
+        sim.run(until=2.0)
+        sim.run(until=10.0)
+        assert fired == ["a", "b"]
+
+    def test_max_events_bounds_work(self):
+        sim = Simulation()
+
+        def loop():
+            sim.schedule(0.001, loop)
+
+        sim.schedule(0.0, loop)
+        sim.run(max_events=100)
+        assert sim.events_processed >= 100
+
+    def test_step_fires_one_event(self):
+        sim = Simulation()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(2.0, fired.append, "b")
+        assert sim.step()
+        assert fired == ["a"]
+
+    def test_step_on_idle_returns_false(self):
+        assert not Simulation().step()
+
+    def test_run_until_advances_time_even_when_idle(self):
+        sim = Simulation()
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+
+class TestTimers:
+    def test_cancelled_timer_does_not_fire(self):
+        sim = Simulation()
+        fired = []
+        timer = sim.schedule(1.0, fired.append, "x")
+        timer.cancel()
+        sim.run()
+        assert fired == []
+        assert timer.cancelled
+        assert not timer.fired
+
+    def test_timer_fired_flag(self):
+        sim = Simulation()
+        timer = sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert timer.fired
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulation()
+        timer = sim.schedule(1.0, lambda: None)
+        sim.run()
+        timer.cancel()
+        assert timer.fired
+
+    def test_step_skips_cancelled_events(self):
+        sim = Simulation()
+        fired = []
+        timer = sim.schedule(1.0, fired.append, "a")
+        sim.schedule(2.0, fired.append, "b")
+        timer.cancel()
+        assert sim.step()
+        assert fired == ["b"]
+
+
+class TestDeterminism:
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0,
+                              allow_nan=False), max_size=30))
+    def test_identical_schedules_identical_orders(self, delays):
+        def trace(delays):
+            sim = Simulation(seed=5)
+            fired = []
+            for i, d in enumerate(delays):
+                sim.schedule(d, fired.append, i)
+            sim.run()
+            return fired
+
+        assert trace(delays) == trace(delays)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0,
+                              allow_nan=False), min_size=1, max_size=30))
+    def test_fire_order_respects_timestamps(self, delays):
+        sim = Simulation()
+        fired = []
+        for i, d in enumerate(delays):
+            sim.schedule(d, lambda d=d: fired.append(d))
+        sim.run()
+        assert fired == sorted(fired)
+
+    def test_rng_is_seeded(self):
+        assert Simulation(seed=7).rng.random() == Simulation(seed=7).rng.random()

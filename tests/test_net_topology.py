@@ -1,0 +1,111 @@
+"""Tests for the Table 1 topology."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.topology import PAPER_REGIONS, Topology
+
+
+class TestPaperTopology:
+    def test_region_order_matches_paper(self):
+        assert PAPER_REGIONS == ("oregon", "iowa", "montreal", "belgium",
+                                 "taiwan", "sydney")
+
+    def test_prefix_selection(self):
+        topo = Topology.paper(3)
+        assert topo.regions == ("oregon", "iowa", "montreal")
+
+    def test_invalid_region_count(self):
+        with pytest.raises(ConfigurationError):
+            Topology.paper(0)
+        with pytest.raises(ConfigurationError):
+            Topology.paper(7)
+
+    @pytest.mark.parametrize("a,b,rtt", [
+        ("oregon", "iowa", 38.0),
+        ("oregon", "sydney", 161.0),
+        ("iowa", "taiwan", 153.0),
+        ("belgium", "sydney", 270.0),
+        ("montreal", "belgium", 82.0),
+        ("taiwan", "sydney", 137.0),
+    ])
+    def test_table1_rtt_values(self, a, b, rtt):
+        topo = Topology.paper(6)
+        assert topo.rtt_ms(a, b) == pytest.approx(rtt)
+        assert topo.rtt_ms(b, a) == pytest.approx(rtt)  # symmetric
+
+    @pytest.mark.parametrize("a,b,mbit", [
+        ("oregon", "oregon", 7998.0),
+        ("oregon", "iowa", 669.0),
+        ("iowa", "iowa", 10004.0),
+        ("belgium", "sydney", 66.0),
+        ("montreal", "taiwan", 111.0),
+    ])
+    def test_table1_bandwidth_values(self, a, b, mbit):
+        topo = Topology.paper(6)
+        assert topo.bandwidth_mbit(a, b) == pytest.approx(mbit)
+
+    def test_intra_region_rtt_is_one_ms(self):
+        topo = Topology.paper(6)
+        for region in topo.regions:
+            assert topo.rtt_ms(region, region) == pytest.approx(1.0)
+
+    def test_latency_is_half_rtt_in_seconds(self):
+        topo = Topology.paper(2)
+        assert topo.latency("oregon", "iowa") == pytest.approx(0.019)
+
+    def test_paper_claim_global_latency_dominates_local(self):
+        """§1.1: global latencies are 33–270x higher than local ones."""
+        topo = Topology.paper(6)
+        for a in topo.regions:
+            for b in topo.regions:
+                if a != b:
+                    ratio = topo.rtt_ms(a, b) / topo.rtt_ms(a, a)
+                    assert 33.0 <= ratio <= 270.0
+
+    def test_paper_claim_local_bandwidth_dominates_global(self):
+        """§1.1: local throughput is 10–151x higher than global."""
+        topo = Topology.paper(6)
+        for a in topo.regions:
+            for b in topo.regions:
+                if a != b:
+                    ratio = (topo.bandwidth_mbit(a, a)
+                             / topo.bandwidth_mbit(a, b))
+                    assert 10.0 <= ratio <= 152.0
+
+    def test_is_local(self):
+        topo = Topology.paper(2)
+        assert topo.is_local("oregon", "oregon")
+        assert not topo.is_local("oregon", "iowa")
+
+
+class TestCustomTopologies:
+    def test_uniform(self):
+        topo = Topology.uniform(["a", "b"], rtt_ms=10.0, bandwidth_mbit=100.0)
+        assert topo.rtt_ms("a", "b") == pytest.approx(10.0)
+        assert topo.bandwidth_mbit("a", "a") == pytest.approx(100.0)
+
+    def test_custom_symmetrizes(self):
+        topo = Topology.custom(
+            ["a", "b"],
+            {("a", "a"): 1.0, ("b", "b"): 1.0, ("a", "b"): 50.0},
+            {("a", "a"): 1000.0, ("b", "b"): 1000.0, ("a", "b"): 10.0},
+        )
+        assert topo.rtt_ms("b", "a") == pytest.approx(50.0)
+
+    def test_missing_link_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Topology.custom(["a", "b"], {("a", "a"): 1.0}, {("a", "a"): 1.0})
+
+    def test_duplicate_regions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Topology.uniform(["a", "a"])
+
+    def test_unknown_pair_rejected(self):
+        topo = Topology.uniform(["a", "b"])
+        with pytest.raises(ConfigurationError):
+            topo.link("a", "zz")
+
+    def test_nonpositive_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Topology.custom(["a"], {("a", "a"): 1.0}, {("a", "a"): 0.0})

@@ -1,0 +1,160 @@
+"""Tests for the replica runtime: CPU model, transport helpers,
+execution lane."""
+
+import pytest
+
+from repro.consensus.replica import BaseReplica, CpuModel
+from repro.crypto.costs import CryptoCostModel
+from repro.crypto.signatures import KeyRegistry
+from repro.ledger.block import Transaction
+from repro.net.network import Network
+from repro.net.simulator import Simulation
+from repro.net.topology import Topology
+from repro.types import replica_id
+
+
+class EchoReplica(BaseReplica):
+    """Records handled messages."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.handled = []
+
+    def handle(self, message, sender):
+        self.handled.append((message, sender, self.sim.now))
+
+
+class Sized:
+    def __init__(self, size=100):
+        self._size = size
+
+    def size_bytes(self):
+        return self._size
+
+
+@pytest.fixture
+def rig():
+    sim = Simulation(seed=1)
+    topo = Topology.uniform(["r1"], rtt_ms=2.0)
+    net = Network(sim, topo)
+    registry = KeyRegistry()
+    a = EchoReplica(replica_id(1, 1), "r1", sim, net, registry,
+                    record_count=100)
+    b = EchoReplica(replica_id(1, 2), "r1", sim, net, registry,
+                    record_count=100)
+    return sim, net, a, b
+
+
+class TestCpuModel:
+    def test_single_core_serializes(self):
+        sim = Simulation()
+        cpu = CpuModel(sim, cores=1)
+        assert cpu.acquire(0.5) == pytest.approx(0.5)
+        assert cpu.acquire(0.5) == pytest.approx(1.0)
+
+    def test_multiple_cores_parallelize(self):
+        sim = Simulation()
+        cpu = CpuModel(sim, cores=2)
+        assert cpu.acquire(0.5) == pytest.approx(0.5)
+        assert cpu.acquire(0.5) == pytest.approx(0.5)
+        assert cpu.acquire(0.5) == pytest.approx(1.0)
+
+    def test_idle_cores_start_at_now(self):
+        sim = Simulation()
+        cpu = CpuModel(sim, cores=1)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert cpu.acquire(0.1) == pytest.approx(2.1)
+
+    def test_zero_cores_clamped_to_one(self):
+        sim = Simulation()
+        cpu = CpuModel(sim, cores=0)
+        assert cpu.acquire(1.0) == pytest.approx(1.0)
+
+    def test_utilization_horizon(self):
+        sim = Simulation()
+        cpu = CpuModel(sim, cores=2)
+        cpu.acquire(3.0)
+        assert cpu.utilization_horizon() == pytest.approx(3.0)
+
+
+class TestTransport:
+    def test_message_cost_delays_handling(self, rig):
+        sim, net, a, b = rig
+        costs = b.costs
+        net.send(a.node_id, b.node_id, Sized())
+        sim.run()
+        assert len(b.handled) == 1
+        _msg, _sender, at = b.handled[0]
+        expected = 0.001 + costs.message_overhead + costs.mac_verify
+        assert at == pytest.approx(expected, rel=0.01)
+
+    def test_crashed_replica_does_not_handle(self, rig):
+        sim, net, a, b = rig
+        net.send(a.node_id, b.node_id, Sized())
+        net.failures.crash(b.node_id)
+        sim.run()
+        assert b.handled == []
+
+    def test_crash_after_delivery_before_dispatch(self, rig):
+        """A message already past the network is still dropped if the
+        replica crashes before its CPU picks it up."""
+        sim, net, a, b = rig
+        net.send(a.node_id, b.node_id, Sized())
+        # Crash at 1.001 ms: after delivery (1 ms), before dispatch
+        # completes (1 ms + ~5 us would be fine, so use midpoint).
+        sim.schedule(0.001001, net.failures.crash, b.node_id)
+        sim.run()
+        assert b.handled == []
+
+    def test_broadcast_excludes_self_by_default(self, rig):
+        sim, net, a, b = rig
+        a.broadcast([a.node_id, b.node_id], Sized())
+        sim.run()
+        assert len(b.handled) == 1
+        assert a.handled == []
+
+    def test_sign_charges_cpu(self):
+        sim = Simulation(seed=1)
+        topo = Topology.uniform(["r1"])
+        net = Network(sim, topo)
+        registry = KeyRegistry()
+        costs = CryptoCostModel(sign=0.5)
+        replica = EchoReplica(replica_id(1, 1), "r1", sim, net, registry,
+                              costs=costs, cores=1, record_count=10)
+        replica.sign("x")
+        assert replica._cpu.utilization_horizon() == pytest.approx(0.5)
+
+
+class TestExecutionLane:
+    def test_execution_is_serialized(self, rig):
+        _sim, _net, a, _b = rig
+        batch = tuple(Transaction(f"t{i}", "update", i, "v")
+                      for i in range(10))
+        _r1, done1 = a.execute_batch(batch)
+        _r2, done2 = a.execute_batch(batch)
+        per_batch = a.costs.execute_txn * 10
+        assert done1 == pytest.approx(per_batch)
+        assert done2 == pytest.approx(2 * per_batch)
+
+    def test_send_at_defers_send(self, rig):
+        sim, _net, a, b = rig
+        a.send_at(0.5, b.node_id, Sized())
+        sim.run(until=0.4)
+        assert b.handled == []
+        sim.run()
+        assert len(b.handled) == 1
+
+    def test_send_at_in_past_sends_immediately(self, rig):
+        sim, _net, a, b = rig
+        a.send_at(0.0, b.node_id, Sized())
+        sim.run()
+        assert len(b.handled) == 1
+
+    def test_execute_batch_records_results(self, rig):
+        _sim, _net, a, _b = rig
+        batch = (Transaction("t1", "update", 1, "x"),
+                 Transaction("t2", "read", 1))
+        results, _done = a.execute_batch(batch)
+        assert results == ["ok", "x"]
+        assert a.executor.executed_txns == 2

@@ -1,0 +1,87 @@
+"""Tests for the message tracer."""
+
+from repro.bench.deployment import Deployment
+from repro.bench.tracing import MessageTracer, TraceEvent
+from repro.consensus.messages import GlobalShare, PrePrepare
+
+from .conftest import small_config
+
+
+def test_tracer_records_filtered_kinds():
+    deployment = Deployment(small_config("geobft", fast_crypto=True))
+    tracer = MessageTracer.attach(deployment.network, kinds=(GlobalShare,))
+    deployment.run()
+    assert tracer.events
+    assert all(e.kind == "GlobalShare" for e in tracer.events)
+    assert tracer.of_kind("GlobalShare") == tracer.events
+    assert tracer.of_kind("PrePrepare") == []
+
+
+def test_tracer_unfiltered_sees_everything():
+    deployment = Deployment(small_config("geobft", fast_crypto=True,
+                                         duration=1.0, warmup=0.2))
+    tracer = MessageTracer.attach(deployment.network)
+    deployment.run()
+    kinds = {e.kind for e in tracer.events}
+    assert {"PrePrepare", "Prepare", "Commit", "GlobalShare"} <= kinds
+
+
+def test_tracer_event_times_monotone():
+    deployment = Deployment(small_config("geobft", fast_crypto=True,
+                                         duration=1.0, warmup=0.2))
+    tracer = MessageTracer.attach(deployment.network, kinds=(PrePrepare,))
+    deployment.run()
+    times = [e.time for e in tracer.events]
+    assert times == sorted(times)
+
+
+def test_tracer_between_clusters():
+    deployment = Deployment(small_config("geobft", fast_crypto=True,
+                                         duration=1.0, warmup=0.2))
+    tracer = MessageTracer.attach(deployment.network, kinds=(GlobalShare,))
+    deployment.run()
+    cross = tracer.between(1, 2)
+    assert cross
+    assert all(e.src.cluster == 1 and e.dst.cluster == 2 for e in cross)
+
+
+def test_tracer_bounded_buffer():
+    deployment = Deployment(small_config("geobft", fast_crypto=True,
+                                         duration=1.0, warmup=0.2))
+    tracer = MessageTracer.attach(deployment.network, max_events=10)
+    deployment.run()
+    assert len(tracer.events) == 10
+    assert tracer.dropped > 0
+    assert "dropped" in tracer.summary()
+
+
+def test_tracer_predicate_filter():
+    deployment = Deployment(small_config("geobft", fast_crypto=True,
+                                         duration=1.0, warmup=0.2))
+    tracer = MessageTracer.attach(
+        deployment.network,
+        predicate=lambda src, dst, msg: src.cluster != dst.cluster,
+    )
+    deployment.run()
+    assert tracer.events
+    assert all(not e.is_local for e in tracer.events)
+
+
+def test_first_time_of():
+    deployment = Deployment(small_config("geobft", fast_crypto=True,
+                                         duration=1.0, warmup=0.2))
+    tracer = MessageTracer.attach(deployment.network)
+    deployment.run()
+    first_pp = tracer.first_time_of("PrePrepare")
+    first_share = tracer.first_time_of("GlobalShare")
+    assert first_pp is not None and first_share is not None
+    assert first_pp < first_share  # replication precedes sharing
+    assert tracer.first_time_of("NoSuchMessage") is None
+
+
+def test_trace_event_str():
+    from repro.types import replica_id
+    event = TraceEvent(1.5, "GlobalShare", replica_id(1, 1),
+                       replica_id(2, 1), 6401, False)
+    text = str(event)
+    assert "GlobalShare" in text and "global" in text

@@ -1,0 +1,138 @@
+"""Tests for the Zipfian generators and the YCSB workload."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.workload.ycsb import YcsbWorkload
+from repro.workload.zipfian import (
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+    make_generator,
+    zeta,
+)
+
+
+class TestZeta:
+    def test_known_values(self):
+        assert zeta(1, 0.99) == pytest.approx(1.0)
+        assert zeta(2, 0.5) == pytest.approx(1.0 + 1 / 2 ** 0.5)
+
+    def test_monotone_in_n(self):
+        assert zeta(100, 0.99) < zeta(200, 0.99)
+
+    def test_memoized(self):
+        assert zeta(1000, 0.99) is not None
+        assert zeta(1000, 0.99) == zeta(1000, 0.99)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("cls", [UniformGenerator, ZipfianGenerator,
+                                     ScrambledZipfianGenerator])
+    def test_keys_in_range(self, cls):
+        gen = cls(1000, random.Random(1))
+        for _ in range(2000):
+            assert 0 <= gen.next() < 1000
+
+    def test_zipfian_is_skewed(self):
+        gen = ZipfianGenerator(10_000, random.Random(2))
+        draws = [gen.next() for _ in range(20_000)]
+        top_10 = sum(1 for d in draws if d < 10)
+        # With theta=0.99 the 10 hottest of 10k keys get a large share;
+        # uniform would give ~0.1%.
+        assert top_10 / len(draws) > 0.2
+
+    def test_uniform_is_not_skewed(self):
+        gen = UniformGenerator(10_000, random.Random(2))
+        draws = [gen.next() for _ in range(20_000)]
+        top_10 = sum(1 for d in draws if d < 10)
+        assert top_10 / len(draws) < 0.01
+
+    def test_scrambled_spreads_hot_keys(self):
+        gen = ScrambledZipfianGenerator(10_000, random.Random(3))
+        draws = [gen.next() for _ in range(5_000)]
+        # Hot keys exist but are not concentrated at low ids.
+        assert sum(1 for d in draws if d < 10) / len(draws) < 0.05
+
+    def test_deterministic_per_seed(self):
+        a = ZipfianGenerator(1000, random.Random(9))
+        b = ZipfianGenerator(1000, random.Random(9))
+        assert [a.next() for _ in range(50)] == [b.next() for _ in range(50)]
+
+    def test_factory(self):
+        rng = random.Random(0)
+        assert isinstance(make_generator("uniform", 10, rng),
+                          UniformGenerator)
+        assert isinstance(make_generator("zipfian", 10, rng),
+                          ZipfianGenerator)
+        assert isinstance(make_generator("scrambled_zipfian", 10, rng),
+                          ScrambledZipfianGenerator)
+        with pytest.raises(WorkloadError):
+            make_generator("pareto", 10, rng)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            ZipfianGenerator(0, random.Random(0))
+        with pytest.raises(WorkloadError):
+            ZipfianGenerator(10, random.Random(0), theta=1.5)
+        with pytest.raises(WorkloadError):
+            UniformGenerator(0, random.Random(0))
+
+    @given(st.integers(min_value=1, max_value=10_000),
+           st.integers(min_value=0, max_value=2 ** 31))
+    @settings(max_examples=30)
+    def test_zipfian_bounds_property(self, n, seed):
+        gen = ZipfianGenerator(n, random.Random(seed))
+        for _ in range(50):
+            assert 0 <= gen.next() < n
+
+
+class TestYcsbWorkload:
+    def test_write_only_default(self):
+        wl = YcsbWorkload(record_count=100, seed=1)
+        txns = [wl.next_txn() for _ in range(100)]
+        assert all(t.op == "update" for t in txns)
+
+    def test_mixed_workload(self):
+        wl = YcsbWorkload(record_count=100, write_fraction=0.5, seed=1)
+        ops = {wl.next_txn().op for _ in range(200)}
+        assert ops == {"update", "read"}
+
+    def test_txn_ids_unique(self):
+        wl = YcsbWorkload(record_count=100, seed=1)
+        ids = [wl.next_txn().txn_id for _ in range(500)]
+        assert len(set(ids)) == len(ids)
+
+    def test_batches(self):
+        wl = YcsbWorkload(record_count=100, seed=1)
+        b = wl.next_batch(10, prefix="c1-")
+        assert len(b) == 10
+        assert all(t.txn_id.startswith("c1-") for t in b)
+        assert wl.generated_txns == 10
+
+    def test_batch_size_validation(self):
+        wl = YcsbWorkload(record_count=100, seed=1)
+        with pytest.raises(WorkloadError):
+            wl.next_batch(0)
+
+    def test_invalid_write_fraction(self):
+        with pytest.raises(WorkloadError):
+            YcsbWorkload(write_fraction=1.5)
+
+    def test_value_size(self):
+        wl = YcsbWorkload(record_count=10, value_size=32, seed=1)
+        assert len(wl.next_txn().value) == 32
+
+    def test_deterministic_per_seed(self):
+        w1 = YcsbWorkload(record_count=100, seed=5)
+        w2 = YcsbWorkload(record_count=100, seed=5)
+        assert w1.next_batch(20) == w2.next_batch(20)
+
+    def test_keys_within_active_set(self):
+        wl = YcsbWorkload(record_count=50, seed=2)
+        for _ in range(500):
+            assert 0 <= wl.next_txn().key < 50
