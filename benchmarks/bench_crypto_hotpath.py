@@ -1,0 +1,151 @@
+"""Crypto hot-path microbenchmark — host-time cost of the primitives.
+
+Unlike the figure benchmarks, this file measures the *host* cost of the
+reproduction's crypto layer: canonical encoding, digests, HMAC
+signatures, and the deployment-wide verification memo.  The companion
+paper ("Through the Looking Glass", PAPERS.md) shows the real system
+lives or dies by exactly these per-message costs; here they bound how
+much simulated time a benchmark run can afford.
+
+Two parts:
+
+* A microbenchmark of sign / verify / digest throughput on a
+  batch-of-100 client request, fresh and cached.
+* One saturated real-crypto PBFT point (z=2, n=4, batch 100) timed in
+  host wall-clock seconds — the headline number for the hot-path
+  overhaul, tracked across PRs via the benchmark trajectory.
+
+Simulated results are asserted unchanged between fast and real crypto:
+host-side memoization must never leak into virtual time.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.crypto.digests import digest_of, encode_canonical
+from repro.crypto.signatures import KeyRegistry
+from repro.ledger.block import Transaction
+from repro.consensus.messages import ClientRequestBatch
+from repro.types import client_id
+
+from common import assert_shape, point_config, run_point
+
+BATCH_LEN = 100
+MICRO_ROUNDS = 300
+
+
+def _fresh_request(salt: int) -> ClientRequestBatch:
+    batch = tuple(
+        Transaction(f"c1.1:{salt}:{i}", "update", i, f"value-{salt}-{i}")
+        for i in range(BATCH_LEN)
+    )
+    return ClientRequestBatch(f"batch-{salt}", client_id(1, 1), batch, None)
+
+
+def _ops_per_s(elapsed: float, ops: int) -> float:
+    return ops / elapsed if elapsed > 0 else float("inf")
+
+
+def reproduce_crypto_hotpath():
+    registry = KeyRegistry(seed=b"bench-hotpath")
+    signer = registry.register(client_id(1, 1))
+
+    # -- digest throughput: first touch (full encode) vs cached ---------
+    requests = [_fresh_request(i) for i in range(MICRO_ROUNDS)]
+    t0 = time.perf_counter()
+    for request in requests:
+        digest_of(request)
+    fresh_digest_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for request in requests:
+        digest_of(request)
+    cached_digest_s = time.perf_counter() - t0
+
+    # -- sign / verify throughput over the memoized encodings -----------
+    t0 = time.perf_counter()
+    signed = [
+        ClientRequestBatch(r.batch_id, r.client, r.batch, signer.sign(r))
+        for r in requests
+    ]
+    sign_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for request in signed:
+        registry.verify(request, request.signature)
+    first_verify_s = time.perf_counter() - t0
+    # A forwarded message is re-verified at every replica; with the
+    # deployment-wide memo the repeats are dictionary hits.
+    t0 = time.perf_counter()
+    for _ in range(7):
+        for request in signed:
+            registry.verify(request, request.signature)
+    cached_verify_s = time.perf_counter() - t0
+
+    stats = registry.verification_cache.stats()
+
+    # -- the headline: one saturated real-crypto PBFT point -------------
+    t0 = time.perf_counter()
+    result = run_point(point_config(
+        "pbft", 2, 4, batch_size=BATCH_LEN, duration=1.0, warmup=0.2,
+        fast_crypto=False,
+    ))
+    pbft_host_s = time.perf_counter() - t0
+
+    print()
+    print("crypto hot-path microbenchmark (batch of "
+          f"{BATCH_LEN} transactions, {MICRO_ROUNDS} rounds):")
+    print(f"  digest  fresh : {_ops_per_s(fresh_digest_s, MICRO_ROUNDS):>12.0f} op/s")
+    print(f"  digest  cached: {_ops_per_s(cached_digest_s, MICRO_ROUNDS):>12.0f} op/s")
+    print(f"  sign          : {_ops_per_s(sign_s, MICRO_ROUNDS):>12.0f} op/s")
+    print(f"  verify  fresh : {_ops_per_s(first_verify_s, MICRO_ROUNDS):>12.0f} op/s")
+    print(f"  verify  cached: {_ops_per_s(cached_verify_s, 7 * MICRO_ROUNDS):>12.0f} op/s")
+    print(f"  verification cache: {stats['hits']} hits / {stats['misses']} misses")
+    print(f"saturated PBFT point (real crypto, z=2 n=4 batch={BATCH_LEN}):")
+    print(f"  host wall-time : {pbft_host_s:8.3f} s")
+    print(f"  simulated tput : {result.throughput_txn_s:8.0f} txn/s")
+    return {
+        "fresh_digest_s": fresh_digest_s,
+        "cached_digest_s": cached_digest_s,
+        "sign_s": sign_s,
+        "first_verify_s": first_verify_s,
+        "cached_verify_s": cached_verify_s,
+        "cache_stats": stats,
+        "pbft_host_s": pbft_host_s,
+        "pbft_result": result,
+    }
+
+
+def test_crypto_hotpath(benchmark):
+    data = benchmark.pedantic(reproduce_crypto_hotpath, rounds=1,
+                              iterations=1)
+
+    # Caching must be a strict host-side win, by a wide margin.
+    assert_shape(data["cached_digest_s"] < data["fresh_digest_s"],
+                 "cached digests cheaper than fresh encodes")
+    assert_shape(
+        data["cached_verify_s"] / 7 < data["first_verify_s"],
+        "memoized verification cheaper than first verification")
+
+    # Every repeat verification after the first is a cache hit.
+    stats = data["cache_stats"]
+    assert stats["hits"] == 7 * MICRO_ROUNDS
+    assert stats["misses"] == MICRO_ROUNDS
+
+    # The saturated point must actually saturate (simulated side) while
+    # staying tractable on the host (the 2x-speedup acceptance number is
+    # documented in CHANGES.md; here we only guard against regressing
+    # into the pre-overhaul regime).
+    result = data["pbft_result"]
+    assert_shape(result.throughput_txn_s > 10_000,
+                 "saturated PBFT point commits at full speed")
+    assert result.safety_ok
+
+    # Host memoization must not leak into simulated results: fast and
+    # real crypto agree exactly on the same configuration.
+    fast = run_point(point_config(
+        "pbft", 2, 4, batch_size=BATCH_LEN, duration=1.0, warmup=0.2,
+        fast_crypto=True,
+    ))
+    assert fast.throughput_txn_s == result.throughput_txn_s
+    assert fast.completed_txns == result.completed_txns
+    assert fast.avg_latency_s == result.avg_latency_s

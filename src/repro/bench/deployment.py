@@ -30,7 +30,7 @@ from ..consensus.zyzzyva import ZyzzyvaClient, ZyzzyvaReplica
 from ..core.config import GeoBftConfig
 from ..core.geobft import GeoBftReplica
 from ..crypto.costs import CryptoCostModel
-from ..crypto.signatures import KeyRegistry
+from ..crypto.signatures import KeyRegistry, VerificationCache
 from ..errors import ConfigurationError
 from ..net.network import Network
 from ..net.simulator import Simulation
@@ -196,10 +196,17 @@ class Deployment:
         self.metrics = Metrics(warmup=config.warmup)
         self.network = Network(self.sim, self.topology)
         self.network.add_observer(self.metrics.network_observer)
+        # One verification memo for the whole deployment: replicas share
+        # it through the registry (signatures) and their MAC
+        # authenticators, so a certificate forwarded to n replicas is
+        # HMAC-checked once on the host.  Purely a host-CPU cache —
+        # simulated crypto delays are charged per replica regardless.
+        self.verification_cache = VerificationCache()
         if config.fast_crypto:
-            self.registry: KeyRegistry = _FastKeyRegistry()
+            self.registry: KeyRegistry = _FastKeyRegistry(
+                cache=self.verification_cache)
         else:
-            self.registry = KeyRegistry()
+            self.registry = KeyRegistry(cache=self.verification_cache)
 
         self.cluster_members: Dict[ClusterId, List[NodeId]] = {}
         self.replicas: Dict[NodeId, object] = {}

@@ -9,11 +9,17 @@ Commands:
 * ``table2``   — print the Table 2 analytic complexity comparison.
 
 All output is plain text; every run is deterministic per ``--seed``.
+
+Set ``REPRO_PROFILE=1`` to run the command under :mod:`cProfile` and
+print the 20 hottest functions (by internal time) afterwards — the
+quickest way to see where *host* CPU goes.  Profiling never affects
+simulated results: the simulator runs on virtual time.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -178,10 +184,28 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_profiled(handler, args) -> int:
+    """Run ``handler`` under cProfile and print the top-20 hot spots."""
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return handler(args)
+    finally:
+        profiler.disable()
+        print("\nREPRO_PROFILE=1 — top 20 functions by internal time:")
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.strip_dirs().sort_stats("tottime").print_stats(20)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if os.environ.get("REPRO_PROFILE") == "1":
+        return _run_profiled(args.handler, args)
     return args.handler(args)
 
 

@@ -142,7 +142,7 @@ class HotStuffReplica(BaseReplica):
         if request.batch_id in self._seen_batch_ids:
             return
         if (request.signature is None
-                or not self.registry.verify(request.payload(),
+                or not self.registry.verify(request,
                                             request.signature)):
             return
         self._seen_batch_ids.add(request.batch_id)
@@ -181,7 +181,7 @@ class HotStuffReplica(BaseReplica):
             return
         if vote.signature is None or not self.registry.verify(
             HsVote(vote.phase, vote.instance, vote.height, vote.digest,
-                   vote.replica, None).payload(),
+                   vote.replica, None),
             vote.signature,
         ):
             return
@@ -229,7 +229,7 @@ class HotStuffReplica(BaseReplica):
             self.charge_cpu(self.costs.hash_small)
             request = proposal.request
             if (request.signature is None
-                    or not self.registry.verify(request.payload(),
+                    or not self.registry.verify(request,
                                                 request.signature)):
                 return
             if request.digest() != proposal.digest:
@@ -251,7 +251,7 @@ class HotStuffReplica(BaseReplica):
         vote = HsVote(proposal.phase, proposal.instance, proposal.height,
                       proposal.digest, self.node_id, None)
         signed = HsVote(vote.phase, vote.instance, vote.height, vote.digest,
-                        vote.replica, self.sign(vote.payload()))
+                        vote.replica, self.sign(vote))
         leader = self._members[proposal.instance]
         if leader == self.node_id:
             self._on_vote(signed, self.node_id)
@@ -276,7 +276,7 @@ class HotStuffReplica(BaseReplica):
         signers = set()
         for signature in qc.signatures:
             vote_payload = HsVote(qc.phase, qc.instance, qc.height,
-                                  qc.digest, signature.signer, None).payload()
+                                  qc.digest, signature.signer, None)
             if not self.registry.verify(vote_payload, signature):
                 return False
             signers.add(signature.signer)

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from ..crypto.digests import CachedEncodable
 from ..crypto.signatures import Signature
 from ..errors import InvalidCertificateError
 from ..ledger.block import Batch, batch_digest
@@ -61,7 +62,7 @@ def reply_size_bytes(batch_len: int) -> int:
 # Client traffic
 # ---------------------------------------------------------------------------
 @dataclass(frozen=True)
-class ClientRequestBatch:
+class ClientRequestBatch(CachedEncodable):
     """A signed batch of transactions, ``<T>_c`` in the paper.
 
     ``batch_id`` is globally unique (client id + client-local counter).
@@ -73,11 +74,14 @@ class ClientRequestBatch:
     signature: Optional[Signature]
 
     def payload(self) -> tuple:
+        # Embedding the Transaction objects (not their payload() tuples)
+        # is byte-identical under canonical encoding and lets the encoder
+        # splice each transaction's cached bytes.
         return (
             "request",
             self.batch_id,
             str(self.client),
-            tuple(txn.payload() for txn in self.batch),
+            self.batch,
         )
 
     def digest(self) -> bytes:
@@ -94,7 +98,7 @@ class ClientRequestBatch:
 
 
 @dataclass(frozen=True)
-class ClientReply:
+class ClientReply(CachedEncodable):
     """Execution confirmation sent to the requesting client (§2.4).
 
     Clients accept a result once ``f + 1`` replicas sent replies with
@@ -126,7 +130,7 @@ class ClientReply:
 # PBFT (local replication, §2.2)
 # ---------------------------------------------------------------------------
 @dataclass(frozen=True)
-class PrePrepare:
+class PrePrepare(CachedEncodable):
     """Primary's proposal of a request for (view, seq)."""
 
     cluster_id: ClusterId
@@ -149,7 +153,7 @@ class PrePrepare:
 
 
 @dataclass(frozen=True)
-class Prepare:
+class Prepare(CachedEncodable):
     """Backup's first-phase agreement message (MAC-authenticated)."""
 
     cluster_id: ClusterId
@@ -173,7 +177,7 @@ class Prepare:
 
 
 @dataclass(frozen=True)
-class Commit:
+class Commit(CachedEncodable):
     """Second-phase commit message — *signed*, because ``n - f`` of these
     form the forwarded commit certificate (§2.2)."""
 
@@ -199,7 +203,7 @@ class Commit:
 
 
 @dataclass(frozen=True)
-class CommitCertificate:
+class CommitCertificate(CachedEncodable):
     """Proof of local replication: the request plus ``n - f`` signed,
     identical commit messages from distinct replicas — ``[<T>_c, rho]_C``
     in the paper."""
@@ -211,13 +215,15 @@ class CommitCertificate:
     commits: Tuple[Commit, ...]
 
     def payload(self) -> tuple:
+        # Child messages ride as objects so their cached encodings are
+        # spliced in; the bytes are identical to encoding their payloads.
         return (
             "certificate",
             self.cluster_id,
             self.round_id,
             self.view,
-            self.request.payload(),
-            tuple(c.payload() for c in self.commits),
+            self.request,
+            self.commits,
         )
 
     def size_bytes(self) -> int:
@@ -229,12 +235,7 @@ class CommitCertificate:
     def digest(self) -> bytes:
         """Digest of the certificate (cached; certificates are immutable
         and hashed into every block that carries them)."""
-        from ..crypto.digests import digest_of
-        cached = self.__dict__.get("_digest_cache")
-        if cached is None:
-            cached = digest_of(self.payload())
-            object.__setattr__(self, "_digest_cache", cached)
-        return cached
+        return self.payload_digest()
 
     def verify(self, registry, quorum: int, members=None) -> None:
         """Validate structure and signatures.
@@ -270,7 +271,7 @@ class CommitCertificate:
                 raise InvalidCertificateError("unsigned commit in certificate")
             if commit.signature.signer != commit.replica:
                 raise InvalidCertificateError("signature/replica mismatch")
-            if not registry.verify(commit.payload(), commit.signature):
+            if not registry.verify(commit, commit.signature):
                 raise InvalidCertificateError(
                     f"bad commit signature from {commit.replica}"
                 )
@@ -282,7 +283,7 @@ class CommitCertificate:
 
 
 @dataclass(frozen=True)
-class Checkpoint:
+class Checkpoint(CachedEncodable):
     """Periodic signed state attestation used for garbage collection and
     recovery (§2.2, §4.3)."""
 
@@ -306,7 +307,7 @@ class Checkpoint:
 
 
 @dataclass(frozen=True)
-class PreparedEntry:
+class PreparedEntry(CachedEncodable):
     """A slot a replica claims prepared, carried inside view changes."""
 
     view: ViewId
@@ -322,7 +323,7 @@ class PreparedEntry:
 
 
 @dataclass(frozen=True)
-class ViewChange:
+class ViewChange(CachedEncodable):
     """Vote to replace the primary with that of ``new_view`` (§2.2)."""
 
     cluster_id: ClusterId
@@ -338,7 +339,7 @@ class ViewChange:
             self.cluster_id,
             self.new_view,
             self.last_stable_seq,
-            tuple(entry.payload() for entry in self.prepared),
+            self.prepared,
             str(self.replica),
         )
 
@@ -349,7 +350,7 @@ class ViewChange:
 
 
 @dataclass(frozen=True)
-class NewView:
+class NewView(CachedEncodable):
     """New primary's installation message for ``new_view``."""
 
     cluster_id: ClusterId
@@ -364,7 +365,7 @@ class NewView:
             self.cluster_id,
             self.new_view,
             tuple(str(r) for r in self.view_change_replicas),
-            tuple(p.payload() for p in self.preprepares),
+            self.preprepares,
             str(self.replica),
         )
 
@@ -378,7 +379,7 @@ class NewView:
 # GeoBFT inter-cluster traffic (§2.3)
 # ---------------------------------------------------------------------------
 @dataclass(frozen=True)
-class GlobalShare:
+class GlobalShare(CachedEncodable):
     """The optimistic global-sharing message ``m = (<T>_c, [<T>_c, rho]_C)``
     sent by a primary to ``f + 1`` replicas of each remote cluster, then
     re-broadcast locally (Figure 5)."""
@@ -395,7 +396,7 @@ class GlobalShare:
             "globalshare",
             self.round_id,
             self.cluster_id,
-            self.certificate.payload(),
+            self.certificate,
         )
 
     def size_bytes(self) -> int:
@@ -403,7 +404,7 @@ class GlobalShare:
 
 
 @dataclass(frozen=True)
-class Drvc:
+class Drvc(CachedEncodable):
     """"Detect remote view change": local agreement that a remote cluster
     failed to send its round-``rho`` share (Figure 7, initiation role)."""
 
@@ -426,7 +427,7 @@ class Drvc:
 
 
 @dataclass(frozen=True)
-class Rvc:
+class Rvc(CachedEncodable):
     """Signed remote view-change request sent across clusters; forwarded
     inside the target cluster, hence signed (Figure 7)."""
 
@@ -453,7 +454,7 @@ class Rvc:
 # Zyzzyva (§3 "Other protocols")
 # ---------------------------------------------------------------------------
 @dataclass(frozen=True)
-class OrderedRequest:
+class OrderedRequest(CachedEncodable):
     """Zyzzyva primary's ordered forward of a client request."""
 
     view: ViewId
@@ -469,7 +470,7 @@ class OrderedRequest:
 
 
 @dataclass(frozen=True)
-class SpecResponse:
+class SpecResponse(CachedEncodable):
     """Replica's signed speculative response, sent straight to the client."""
 
     view: ViewId
@@ -497,7 +498,7 @@ class SpecResponse:
 
 
 @dataclass(frozen=True)
-class ZyzzyvaCommitCert:
+class ZyzzyvaCommitCert(CachedEncodable):
     """Client-assembled certificate of ``2F + 1`` matching speculative
     responses, broadcast when the fast path fails."""
 
@@ -512,7 +513,7 @@ class ZyzzyvaCommitCert:
             self.batch_id,
             self.view,
             self.seq,
-            tuple(r.payload() for r in self.responses),
+            self.responses,
         )
 
     def size_bytes(self) -> int:
@@ -520,7 +521,7 @@ class ZyzzyvaCommitCert:
 
 
 @dataclass(frozen=True)
-class LocalCommit:
+class LocalCommit(CachedEncodable):
     """Replica acknowledgement of a Zyzzyva commit certificate."""
 
     view: ViewId
@@ -546,7 +547,7 @@ class LocalCommit:
 # acts as a primary in parallel)
 # ---------------------------------------------------------------------------
 @dataclass(frozen=True)
-class HsQuorumCert:
+class HsQuorumCert(CachedEncodable):
     """Quorum certificate: ``N - F`` vote signatures.  Without threshold
     signatures its size is linear in the quorum — the cost the paper
     calls out."""
@@ -565,7 +566,7 @@ class HsQuorumCert:
 
 
 @dataclass(frozen=True)
-class HsProposal:
+class HsProposal(CachedEncodable):
     """Leader broadcast for one HotStuff phase of one instance."""
 
     phase: str  # "prepare" | "precommit" | "commit" | "decide"
@@ -594,7 +595,7 @@ class HsProposal:
 
 
 @dataclass(frozen=True)
-class HsVote:
+class HsVote(CachedEncodable):
     """Signed phase vote returned to the instance leader."""
 
     phase: str
@@ -622,7 +623,7 @@ class HsVote:
 # Steward (§3 "Other protocols": hierarchical, primary cluster)
 # ---------------------------------------------------------------------------
 @dataclass(frozen=True)
-class StewardForward:
+class StewardForward(CachedEncodable):
     """A site's locally agreed-upon request forwarded to the primary
     cluster for global ordering, with the site's local proof."""
 
@@ -636,7 +637,7 @@ class StewardForward:
             "stewardforward",
             self.origin_cluster,
             self.local_seq,
-            self.certificate.payload(),
+            self.certificate,
         )
 
     def size_bytes(self) -> int:
@@ -644,7 +645,7 @@ class StewardForward:
 
 
 @dataclass(frozen=True)
-class StewardGlobalOrder:
+class StewardGlobalOrder(CachedEncodable):
     """The primary cluster's globally ordered assignment, disseminated to
     every site (then locally broadcast)."""
 
@@ -659,7 +660,7 @@ class StewardGlobalOrder:
             "stewardorder",
             self.global_seq,
             self.origin_cluster,
-            self.certificate.payload(),
+            self.certificate,
         )
 
     def size_bytes(self) -> int:
@@ -670,7 +671,7 @@ class StewardGlobalOrder:
 # Checkpoint catch-up (PBFT state transfer analogue)
 # ---------------------------------------------------------------------------
 @dataclass(frozen=True)
-class FetchDecision:
+class FetchDecision(CachedEncodable):
     """A laggard's request for a decided (request, certificate) pair.
 
     Sent when a stable checkpoint proves the group decided sequence
@@ -691,7 +692,7 @@ class FetchDecision:
 
 
 @dataclass(frozen=True)
-class DecisionTransfer:
+class DecisionTransfer(CachedEncodable):
     """Reply to :class:`FetchDecision`: the certified decision itself.
 
     The embedded commit certificate proves authenticity, so the laggard
@@ -704,7 +705,7 @@ class DecisionTransfer:
 
     def payload(self) -> tuple:
         return ("decisiontransfer", self.cluster_id, self.seq,
-                self.certificate.payload())
+                self.certificate)
 
     def size_bytes(self) -> int:
         return self.certificate.size_bytes() + CERT_SHARE_OVERHEAD_BYTES
@@ -714,7 +715,7 @@ class DecisionTransfer:
 # Threshold-signature commit certificates (paper §2.2, optional)
 # ---------------------------------------------------------------------------
 @dataclass(frozen=True)
-class CertShare:
+class CertShare(CachedEncodable):
     """One replica's threshold-signature share over a decided round.
 
     In threshold mode, replicas send these to their primary after
@@ -743,7 +744,7 @@ def certificate_statement(cluster_id: ClusterId, round_id: RoundId,
 
 
 @dataclass(frozen=True)
-class ThresholdCommitCertificate:
+class ThresholdCommitCertificate(CachedEncodable):
     """Constant-size proof of local replication (§2.2): the client
     request plus a single threshold signature by ``n - f`` cluster
     members over :func:`certificate_statement`.
@@ -763,7 +764,7 @@ class ThresholdCommitCertificate:
             self.cluster_id,
             self.round_id,
             self.view,
-            self.request.payload(),
+            self.request,
             self.signature.tag,
         )
 
@@ -773,12 +774,7 @@ class ThresholdCommitCertificate:
 
     def digest(self) -> bytes:
         """Digest of the certificate (cached, as for the classic form)."""
-        from ..crypto.digests import digest_of
-        cached = self.__dict__.get("_digest_cache")
-        if cached is None:
-            cached = digest_of(self.payload())
-            object.__setattr__(self, "_digest_cache", cached)
-        return cached
+        return self.payload_digest()
 
     def verify_threshold(self, scheme) -> None:
         """Validate against the cluster's threshold scheme.

@@ -302,7 +302,7 @@ class PbftEngine:
             # Only single-transaction no-ops may be unsigned.
             return len(request.batch) == 1 and request.batch[0].op == "noop"
         # CPU cost was charged on the certify lane at delivery.
-        return self._owner.registry.verify(request.payload(),
+        return self._owner.registry.verify(request,
                                            request.signature)
 
     def pump(self) -> None:
@@ -391,7 +391,7 @@ class PbftEngine:
                                 msg.digest, self._owner.node_id, None)
                 signed = Commit(commit.cluster_id, commit.view, commit.seq,
                                 commit.digest, commit.replica,
-                                self._owner.sign(commit.payload()))
+                                self._owner.sign(commit))
                 self._owner.broadcast(self._members, signed)
             return
         if msg.seq >= self._next_seq:
@@ -442,7 +442,7 @@ class PbftEngine:
                         self._owner.node_id, None)
         signed = Commit(commit.cluster_id, commit.view, commit.seq,
                         commit.digest, commit.replica,
-                        self._owner.sign(commit.payload()))
+                        self._owner.sign(commit))
         slot.commits.setdefault(slot.digest, {})[self._owner.node_id] = signed
         self._owner.broadcast(self._members, signed)
         self._maybe_decide(seq, slot)
@@ -454,7 +454,7 @@ class PbftEngine:
             return
         if msg.replica != sender or msg.signature is None:
             return
-        if not self._owner.registry.verify(msg.payload(), msg.signature):
+        if not self._owner.registry.verify(msg, msg.signature):
             return
         slot = self._slot(msg.seq)
         slot.commits.setdefault(msg.digest, {})[sender] = msg
@@ -509,7 +509,7 @@ class PbftEngine:
         )
         signed = Checkpoint(
             checkpoint.cluster_id, checkpoint.seq, checkpoint.state_digest,
-            checkpoint.replica, self._owner.sign(checkpoint.payload()),
+            checkpoint.replica, self._owner.sign(checkpoint),
         )
         self._record_checkpoint(signed, self._owner.node_id)
         self._owner.broadcast(self._members, signed)
@@ -519,7 +519,7 @@ class PbftEngine:
             return
         if msg.replica != sender or msg.signature is None:
             return
-        if not self._owner.registry.verify(msg.payload(), msg.signature):
+        if not self._owner.registry.verify(msg, msg.signature):
             return
         self._record_checkpoint(msg, sender)
 
@@ -652,7 +652,7 @@ class PbftEngine:
                          prepared, self._owner.node_id, None)
         signed = ViewChange(msg.cluster_id, msg.new_view, msg.last_stable_seq,
                             msg.prepared, msg.replica,
-                            self._owner.sign(msg.payload()))
+                            self._owner.sign(msg))
         self._record_view_change(signed, self._owner.node_id)
         self._owner.broadcast(self._members, signed)
         self._arm_new_view_timer()
@@ -697,7 +697,7 @@ class PbftEngine:
             return
         if msg.signature is None:
             return
-        if not self._owner.registry.verify(msg.payload(), msg.signature):
+        if not self._owner.registry.verify(msg, msg.signature):
             return
         self._record_view_change(msg, sender)
 

@@ -86,7 +86,9 @@ class BaseReplica:
         self._costs = costs or CryptoCostModel()
         self._cpu = CpuModel(sim, cores)
         self._signer: Signer = registry.register(node_id)
-        self._mac = MacAuthenticator(node_id)
+        # MAC verification outcomes share the deployment-wide memo held
+        # by the PKI, so re-checked tags cost one HMAC host-side.
+        self._mac = MacAuthenticator(node_id, cache=registry.verification_cache)
         self._store = YcsbStore(record_count)
         self._executor = ExecutionEngine(self._store)
         self._ledger = Blockchain()
@@ -178,7 +180,8 @@ class BaseReplica:
             start = max(self._certify_free_at, done)
             done = start + verify_cost
             self._certify_free_at = done
-        self._sim.schedule(done - self._sim.now, self._dispatch, message, sender)
+        # Dispatches are never cancelled: use the allocation-free path.
+        self._sim.post(done - self._sim.now, self._dispatch, message, sender)
 
     def _dispatch(self, message, sender: NodeId) -> None:
         if self._network.failures.is_crashed(self._node_id):
@@ -278,4 +281,4 @@ class BaseReplica:
         if delay <= 0:
             self.send(dst, message)
         else:
-            self._sim.schedule(delay, self.send, dst, message)
+            self._sim.post(delay, self.send, dst, message)

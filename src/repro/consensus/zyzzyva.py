@@ -103,7 +103,7 @@ class ZyzzyvaReplica(BaseReplica):
         if request.batch_id in self._seen_batch_ids:
             return
         if (request.signature is None
-                or not self.registry.verify(request.payload(),
+                or not self.registry.verify(request,
                                             request.signature)):
             return
         self._seen_batch_ids.add(request.batch_id)
@@ -124,7 +124,7 @@ class ZyzzyvaReplica(BaseReplica):
             return
         request = msg.request
         if (request.signature is None
-                or not self.registry.verify(request.payload(),
+                or not self.registry.verify(request,
                                             request.signature)):
             return
         self._accept_order(msg)
@@ -166,7 +166,7 @@ class ZyzzyvaReplica(BaseReplica):
         signed = SpecResponse(
             response.view, response.seq, response.batch_id,
             response.history_digest, response.results_digest,
-            response.replica, self.sign(response.payload()),
+            response.replica, self.sign(response),
             response.batch_len,
         )
         self.send_at(done_at, request.client, signed)
@@ -188,7 +188,7 @@ class ZyzzyvaReplica(BaseReplica):
                     response.view, response.seq, response.batch_id,
                     response.history_digest, response.results_digest,
                     response.replica, None, response.batch_len,
-                ).payload(),
+                ),
                 response.signature,
             ):
                 return
@@ -282,7 +282,7 @@ class ZyzzyvaClient:
         unsigned = ClientRequestBatch(batch_id, self._node_id, batch, None)
         request = ClientRequestBatch(
             batch_id, self._node_id, batch,
-            self._signer.sign(unsigned.payload()),
+            self._signer.sign(unsigned),
         )
         self._requests[batch_id] = request
         self._submit_times[batch_id] = self._sim.now

@@ -185,7 +185,7 @@ class RemoteViewChangeManager:
                   v: int) -> None:
         rvc = Rvc(cluster, round_id, v, self._owner.node_id, None)
         signed = Rvc(rvc.target_cluster, rvc.round_id, rvc.vc_count,
-                     rvc.replica, self._owner.sign(rvc.payload()))
+                     rvc.replica, self._owner.sign(rvc))
         target = NodeId("replica", cluster, self._owner.node_id.index)
         self._owner.send(target, signed)
 
@@ -205,7 +205,7 @@ class RemoteViewChangeManager:
             return  # RVCs must originate in another cluster
         if msg.signature is None:
             return
-        if not self._owner.registry.verify(msg.payload(), msg.signature):
+        if not self._owner.registry.verify(msg, msg.signature):
             return
         came_directly = sender == msg.replica
         key = (msg.replica.cluster, msg.round_id, msg.vc_count)

@@ -9,6 +9,24 @@ Payloads are arbitrary trees of Python primitives (ints, strings, bytes,
 bools, ``None``, tuples/lists, dicts with string keys).  They are encoded
 canonically so that two structurally equal payloads always hash to the
 same digest, regardless of dict insertion order.
+
+Hot-path design
+---------------
+Canonical encoding is the host-side cost that dominates a simulated run:
+a batch of 100 transactions is re-encoded at every sign, verify, MAC,
+and digest of every message that embeds it, at every replica.  Two
+mechanisms make encoding compute-once across a whole deployment:
+
+* The encoder is **iterative** (an explicit work stack instead of
+  recursion), so arbitrarily deep payloads — far beyond Python's
+  recursion limit — encode without blowing the stack.
+* Frozen message dataclasses mix in :class:`CachedEncodable`: the first
+  time such an object is encoded, its canonical bytes (and, on demand,
+  their SHA256 digest) are memoized on the instance.  Because the
+  simulator passes message *objects* between replicas (no
+  serialization), one cached encoding serves every replica that touches
+  the message, while a reconstructed (hence new) object can never reuse
+  a stale cache entry.
 """
 
 from __future__ import annotations
@@ -21,47 +39,168 @@ from ..errors import CryptoError
 DIGEST_SIZE = 32
 
 
+class CachedEncodable:
+    """Mixin for immutable ``payload()``-bearing message objects.
+
+    Instances memoize their canonical byte encoding and its SHA256
+    digest the first time either is requested; nested encodes splice the
+    cached bytes instead of re-walking the payload tree.  Only mix this
+    into *immutable* objects (frozen dataclasses): the cache is keyed by
+    object identity, so a mutated payload would silently keep its old
+    encoding.  ``dataclasses.replace`` and any other reconstruction
+    produce a fresh instance with an empty cache.
+    """
+
+    __slots__ = ()
+
+    def encoded(self) -> bytes:
+        """Canonical byte encoding of ``payload()``, computed once."""
+        cached = self.__dict__.get("_encoded_cache")
+        if cached is None:
+            out: list[bytes] = []
+            _encode(self, out)
+            cached = b"".join(out)
+            object.__setattr__(self, "_encoded_cache", cached)
+        return cached
+
+    def payload_digest(self) -> bytes:
+        """SHA256 digest of the canonical encoding, computed once.
+
+        Distinct from the protocol-level ``digest()`` some messages
+        expose (e.g. a request's digest covers only its transaction
+        batch); this one covers the full ``payload()``.
+        """
+        cached = self.__dict__.get("_payload_digest_cache")
+        if cached is None:
+            cached = hashlib.sha256(self.encoded()).digest()
+            object.__setattr__(self, "_payload_digest_cache", cached)
+        return cached
+
+
+class _CacheMark:
+    """Stack frame recording where a cacheable object's encoding starts."""
+
+    __slots__ = ("obj", "start")
+
+    def __init__(self, obj: Any, start: int):
+        self.obj = obj
+        self.start = start
+
+
+class _Emit:
+    """Stack frame holding literal bytes to append (closing markers)."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: bytes):
+        self.data = data
+
+
+_SEQ_CLOSE = _Emit(b";")
+
+
 def _encode(value: Any, out: list[bytes]) -> None:
-    """Append a canonical, unambiguous encoding of ``value`` to ``out``."""
-    if value is None:
-        out.append(b"N")
-    elif value is True:
-        out.append(b"T")
-    elif value is False:
-        out.append(b"F")
-    elif isinstance(value, int):
-        body = str(value).encode()
-        out.append(b"i" + str(len(body)).encode() + b":" + body)
-    elif isinstance(value, float):
-        body = repr(value).encode()
-        out.append(b"f" + str(len(body)).encode() + b":" + body)
-    elif isinstance(value, str):
-        body = value.encode()
-        out.append(b"s" + str(len(body)).encode() + b":" + body)
-    elif isinstance(value, bytes):
-        out.append(b"b" + str(len(value)).encode() + b":" + value)
-    elif isinstance(value, (tuple, list)):
-        out.append(b"l" + str(len(value)).encode() + b":")
-        for item in value:
-            _encode(item, out)
-        out.append(b";")
-    elif isinstance(value, dict):
-        out.append(b"d" + str(len(value)).encode() + b":")
-        try:
-            keys = sorted(value)
-        except TypeError as exc:
-            raise CryptoError(f"dict keys must be sortable: {exc}") from exc
-        for key in keys:
-            _encode(key, out)
-            _encode(value[key], out)
-        out.append(b";")
-    elif hasattr(value, "payload"):
-        # Protocol messages expose ``payload()`` returning primitives.
-        _encode(value.payload(), out)
-    else:
-        raise CryptoError(
-            f"cannot canonically encode value of type {type(value).__name__}"
-        )
+    """Append a canonical, unambiguous encoding of ``value`` to ``out``.
+
+    Iterative: an explicit stack replaces recursion so nesting depth is
+    bounded by memory, not the interpreter's recursion limit (deep
+    payloads — ≥10k levels — are exercised by the test suite).
+
+    The dispatch checks exact classes first (the overwhelmingly common
+    case on the hot path) and falls back to ``isinstance`` for
+    subclasses, preserving the historical dispatch order — the output is
+    byte-for-byte identical to the original recursive encoder.
+    """
+    stack: list[Any] = [value]
+    push = stack.append
+    pop = stack.pop
+    emit = out.append
+    while stack:
+        v = pop()
+        cls = v.__class__
+        if cls is str:
+            body = v.encode()
+            emit(b"s%d:%b" % (len(body), body))
+        elif cls is tuple or cls is list:
+            emit(b"l%d:" % len(v))
+            push(_SEQ_CLOSE)
+            for item in reversed(v):
+                push(item)
+        elif cls is int:
+            body = b"%d" % v
+            emit(b"i%d:%b" % (len(body), body))
+        elif cls is bytes:
+            emit(b"b%d:%b" % (len(v), v))
+        elif cls is _Emit:
+            emit(v.data)
+        elif cls is _CacheMark:
+            encoded = b"".join(out[v.start:])
+            del out[v.start:]
+            emit(encoded)
+            object.__setattr__(v.obj, "_encoded_cache", encoded)
+        elif v is None:
+            emit(b"N")
+        elif v is True:
+            emit(b"T")
+        elif v is False:
+            emit(b"F")
+        elif cls is float:
+            body = repr(v).encode()
+            emit(b"f%d:%b" % (len(body), body))
+        elif cls is dict:
+            emit(b"d%d:" % len(v))
+            try:
+                keys = sorted(v)
+            except TypeError as exc:
+                raise CryptoError(f"dict keys must be sortable: {exc}") from exc
+            push(_SEQ_CLOSE)
+            for key in reversed(keys):
+                push(v[key])
+                push(key)
+        elif isinstance(v, CachedEncodable):
+            cached = v.__dict__.get("_encoded_cache")
+            if cached is not None:
+                emit(cached)
+            else:
+                # Encode payload(), then fold the produced bytes into one
+                # cached chunk attached to the instance (the _CacheMark
+                # pops only after the payload finished encoding).
+                push(_CacheMark(v, len(out)))
+                push(v.payload())
+        # Subclass fallbacks, in the historical dispatch order.
+        elif isinstance(v, int):
+            body = b"%d" % v
+            emit(b"i%d:%b" % (len(body), body))
+        elif isinstance(v, float):
+            body = repr(v).encode()
+            emit(b"f%d:%b" % (len(body), body))
+        elif isinstance(v, str):
+            body = v.encode()
+            emit(b"s%d:%b" % (len(body), body))
+        elif isinstance(v, bytes):
+            emit(b"b%d:%b" % (len(v), v))
+        elif isinstance(v, (tuple, list)):
+            emit(b"l%d:" % len(v))
+            push(_SEQ_CLOSE)
+            for item in reversed(v):
+                push(item)
+        elif isinstance(v, dict):
+            emit(b"d%d:" % len(v))
+            try:
+                keys = sorted(v)
+            except TypeError as exc:
+                raise CryptoError(f"dict keys must be sortable: {exc}") from exc
+            push(_SEQ_CLOSE)
+            for key in reversed(keys):
+                push(v[key])
+                push(key)
+        elif hasattr(v, "payload"):
+            # Protocol messages expose ``payload()`` returning primitives.
+            push(v.payload())
+        else:
+            raise CryptoError(
+                f"cannot canonically encode value of type {type(v).__name__}"
+            )
 
 
 def encode_canonical(value: Any) -> bytes:
@@ -70,7 +209,11 @@ def encode_canonical(value: Any) -> bytes:
     The encoding is injective on the supported value space: distinct
     payloads never encode to the same bytes (lengths are explicit, types
     are tagged), so ``digest`` collisions reduce to SHA256 collisions.
+    Objects mixing in :class:`CachedEncodable` encode exactly once; the
+    bytes are reused on every later encode that embeds them.
     """
+    if isinstance(value, CachedEncodable):
+        return value.encoded()
     out: list[bytes] = []
     _encode(value, out)
     return b"".join(out)
@@ -89,4 +232,18 @@ def digest_of(value: Any) -> bytes:
     >>> digest_of((1, 2)) == digest_of((1, "2"))
     False
     """
+    if isinstance(value, CachedEncodable):
+        return value.payload_digest()
+    return digest(encode_canonical(value))
+
+
+def cached_digest(value: Any) -> bytes:
+    """Digest of ``value``, memoized when the value supports it.
+
+    Alias of :func:`digest_of` with the cache-aware path made explicit;
+    protocol code uses it to document that a digest is expected to be a
+    cache hit on the hot path.
+    """
+    if isinstance(value, CachedEncodable):
+        return value.payload_digest()
     return digest(encode_canonical(value))

@@ -16,11 +16,12 @@ from __future__ import annotations
 import hashlib
 import hmac
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Dict, Optional
 
 from ..errors import InvalidMacError
 from ..types import NodeId
-from .digests import encode_canonical
+from .digests import CachedEncodable, encode_canonical
+from .signatures import VerificationCache
 
 MAC_SIZE = 16  # bytes, matching AES-CMAC.
 
@@ -46,11 +47,22 @@ class MacAuthenticator:
     compute it but the simulator never does key exchange.
     """
 
-    __slots__ = ("_node", "_domain")
+    __slots__ = ("_node", "_domain", "_pair_keys", "_cache")
 
-    def __init__(self, node: NodeId, domain: bytes = b"resilientdb-mac"):
+    def __init__(
+        self,
+        node: NodeId,
+        domain: bytes = b"resilientdb-mac",
+        cache: Optional[VerificationCache] = None,
+    ):
         self._node = node
         self._domain = domain
+        # Pairwise keys are pure functions of (domain, endpoints); memoize
+        # them so the derivation hash runs once per peer, not per message.
+        self._pair_keys: Dict[NodeId, bytes] = {}
+        # Optionally shared with the deployment's KeyRegistry so MAC
+        # verification outcomes are memoized deployment-wide.
+        self._cache = cache
 
     @property
     def node(self) -> NodeId:
@@ -58,9 +70,13 @@ class MacAuthenticator:
         return self._node
 
     def _pair_key(self, other: NodeId) -> bytes:
-        first, second = sorted((str(self._node), str(other)))
-        material = self._domain + first.encode() + b"|" + second.encode()
-        return hashlib.sha256(material).digest()
+        key = self._pair_keys.get(other)
+        if key is None:
+            first, second = sorted((str(self._node), str(other)))
+            material = self._domain + first.encode() + b"|" + second.encode()
+            key = hashlib.sha256(material).digest()
+            self._pair_keys[other] = key
+        return key
 
     def tag(self, receiver: NodeId, payload: Any) -> Mac:
         """Produce a MAC over ``payload`` for ``receiver``."""
@@ -72,11 +88,29 @@ class MacAuthenticator:
     def verify(self, mac: Mac, payload: Any) -> bool:
         """Check a MAC addressed to this node.  Returns ``False`` on any
         mismatch rather than raising, as replicas simply discard bad
-        messages."""
+        messages.
+
+        Outcomes for :class:`~.digests.CachedEncodable` payloads are
+        memoized when a shared :class:`VerificationCache` was supplied;
+        the MAC outcome is a pure function of (sender, receiver, payload
+        digest, tag), and the receiver is part of the key because a MAC
+        convinces only its addressee.
+        """
+        cache_key = None
+        if self._cache is not None and isinstance(payload, CachedEncodable):
+            cache_key = (
+                "mac", mac.sender, self._node, payload.payload_digest(), mac.tag,
+            )
+            cached = self._cache.get(cache_key)
+            if cached is not None:
+                return cached
         message = encode_canonical((str(mac.sender), str(self._node), payload))
         key = self._pair_key(mac.sender)
         expected = hmac.new(key, message, hashlib.sha256).digest()[:MAC_SIZE]
-        return hmac.compare_digest(expected, mac.tag)
+        outcome = hmac.compare_digest(expected, mac.tag)
+        if cache_key is not None:
+            self._cache.put(cache_key, outcome)
+        return outcome
 
     def require_valid(self, mac: Mac, payload: Any) -> None:
         """Like :meth:`verify` but raises :class:`InvalidMacError`."""

@@ -17,6 +17,18 @@ registry verifies by recomputing the tag; this models signature
 verification with the signer's public key.  HMAC is used instead of real
 ED25519 to keep the simulator fast while preserving unforgeability
 against everyone who does not hold the secret.
+
+Verification memoization
+------------------------
+A signed message that is forwarded — a client request, a commit
+certificate — is verified by every replica that receives it, so a naive
+host pays ``n`` HMAC recomputations for one logical check.  The
+:class:`VerificationCache` memoizes verification *outcomes* keyed by
+``(signer, payload digest, tag)``: the outcome is a deterministic
+function of that key, so a deployment-wide shared cache collapses the
+host cost to one HMAC per distinct (message, signature) pair.  The
+per-replica *simulated* verification delay is charged by the replica
+layer independently, so memoization cannot change simulated results.
 """
 
 from __future__ import annotations
@@ -24,13 +36,55 @@ from __future__ import annotations
 import hashlib
 import hmac
 from dataclasses import dataclass
-from typing import Any, Dict
+from typing import Any, Dict, Optional, Tuple
 
 from ..errors import CryptoError, InvalidSignatureError
 from ..types import NodeId
-from .digests import encode_canonical
+from .digests import CachedEncodable, encode_canonical
 
 SIGNATURE_SIZE = 64  # bytes on the wire, matching ED25519.
+
+
+class VerificationCache:
+    """Deployment-wide memo of signature/MAC verification outcomes.
+
+    Keys are tuples that uniquely determine the verification result
+    (e.g. ``("sig", signer, payload_digest, tag)``); values are the
+    boolean outcome.  Both positive and negative outcomes are cached —
+    a forged tag stays forged.  The cache is bounded with FIFO eviction
+    so adversarial workloads cannot grow it without limit.
+    """
+
+    __slots__ = ("_entries", "_max_entries", "hits", "misses")
+
+    def __init__(self, max_entries: int = 1 << 20):
+        self._entries: Dict[Tuple, bool] = {}
+        self._max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Tuple) -> Optional[bool]:
+        """Cached outcome for ``key``, or ``None`` on a miss."""
+        outcome = self._entries.get(key)
+        if outcome is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return outcome is True
+
+    def put(self, key: Tuple, outcome: bool) -> None:
+        """Record the outcome of a fresh verification."""
+        entries = self._entries
+        if len(entries) >= self._max_entries:
+            entries.pop(next(iter(entries)))
+        entries[key] = outcome
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss counters, for benchmarks and tests."""
+        return {"hits": self.hits, "misses": self.misses, "size": len(self._entries)}
 
 
 @dataclass(frozen=True)
@@ -64,7 +118,12 @@ class Signer:
         return self._node
 
     def sign(self, payload: Any) -> Signature:
-        """Sign ``payload`` (any canonically encodable value)."""
+        """Sign ``payload`` (any canonically encodable value).
+
+        When ``payload`` is a :class:`~.digests.CachedEncodable` message,
+        its canonical bytes are spliced from the instance cache, so
+        signing costs one HMAC rather than a payload-tree walk.
+        """
         message = encode_canonical((str(self._node), payload))
         tag = hmac.new(self._secret, message, hashlib.sha256).digest()
         return Signature(self._node, tag)
@@ -80,9 +139,22 @@ class KeyRegistry:
     and Byzantine test behaviours cannot forge them at all.
     """
 
-    def __init__(self, seed: bytes = b"resilientdb"):
+    def __init__(
+        self,
+        seed: bytes = b"resilientdb",
+        cache: Optional[VerificationCache] = None,
+    ):
         self._seed = seed
         self._secrets: Dict[NodeId, bytes] = {}
+        # One registry serves a whole deployment, so its cache is the
+        # deployment-wide verification memo.  ``cache`` lets a caller
+        # share one cache across several authenticators.
+        self._cache = VerificationCache() if cache is None else cache
+
+    @property
+    def verification_cache(self) -> VerificationCache:
+        """The shared verification memo (for stats and benchmarks)."""
+        return self._cache
 
     def register(self, node: NodeId) -> Signer:
         """Create (or re-derive) the signing handle for ``node``.
@@ -105,13 +177,29 @@ class KeyRegistry:
         Returns ``False`` (never raises) for unknown signers or bad tags,
         matching the paper's rule that replicas silently discard messages
         with invalid signatures.
+
+        Outcomes for :class:`~.digests.CachedEncodable` payloads are
+        memoized in the deployment-wide :class:`VerificationCache`: the
+        result is a pure function of ``(signer, payload digest, tag)``,
+        so a certificate forwarded to ``n`` replicas costs one HMAC on
+        the host.  Simulated verification delay is charged elsewhere and
+        is unaffected.
         """
         secret = self._secrets.get(signature.signer)
         if secret is None:
             return False
+        key = None
+        if isinstance(payload, CachedEncodable):
+            key = ("sig", signature.signer, payload.payload_digest(), signature.tag)
+            cached = self._cache.get(key)
+            if cached is not None:
+                return cached
         message = encode_canonical((str(signature.signer), payload))
         expected = hmac.new(secret, message, hashlib.sha256).digest()
-        return hmac.compare_digest(expected, signature.tag)
+        outcome = hmac.compare_digest(expected, signature.tag)
+        if key is not None:
+            self._cache.put(key, outcome)
+        return outcome
 
     def require_valid(self, payload: Any, signature: Signature) -> None:
         """Like :meth:`verify` but raises :class:`InvalidSignatureError`."""

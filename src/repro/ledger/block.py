@@ -13,18 +13,22 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional, Tuple
 
-from ..crypto.digests import digest_of
+from ..crypto.digests import CachedEncodable, digest_of
 from ..types import ClusterId, RoundId
 
 GENESIS_HASH = b"\x00" * 32
 
 
 @dataclass(frozen=True)
-class Transaction:
+class Transaction(CachedEncodable):
     """One client operation against the YCSB table.
 
     ``op`` is one of ``"read"``, ``"update"``, ``"insert"``,
     ``"modify"`` (read-modify-write), or ``"noop"``.
+
+    Transactions are encoded into every request, pre-prepare, and
+    certificate that carries them; :class:`CachedEncodable` makes that a
+    one-time cost per transaction instance.
     """
 
     txn_id: str
@@ -48,8 +52,13 @@ Batch = Tuple[Transaction, ...]
 
 
 def batch_digest(batch: Batch) -> bytes:
-    """SHA256 digest of a request batch."""
-    return digest_of(tuple(txn.payload() for txn in batch))
+    """SHA256 digest of a request batch.
+
+    Encoding a :class:`Transaction` object is byte-identical to encoding
+    its ``payload()`` tuple, so this digest matches the historical
+    definition while reusing each transaction's cached bytes.
+    """
+    return digest_of(tuple(batch))
 
 
 @dataclass(frozen=True)

@@ -55,6 +55,24 @@ SendObserver = Callable[[NodeId, NodeId, object, int, bool], None]
 _WAN_EGRESS = "__wan__"
 
 
+def _message_size(message: SizedMessage) -> int:
+    """``message.size_bytes()``, memoized per message instance.
+
+    A multicast re-queries the size once per destination and certificates
+    are re-sent across phases; the wire size of an (immutable) message
+    never changes, so cache it in the instance ``__dict__``.  Objects
+    without a ``__dict__`` (slotted test doubles) just recompute.
+    """
+    try:
+        cached = message.__dict__.get("_size_cache")
+    except AttributeError:
+        return message.size_bytes()
+    if cached is None:
+        cached = message.size_bytes()
+        object.__setattr__(message, "_size_cache", cached)
+    return cached
+
+
 class Network:
     """Delivers messages between registered nodes with realistic timing."""
 
@@ -120,13 +138,13 @@ class Network:
         transmit time when the network or receiver loses it.
         """
         if src == dst:
-            self._sim.schedule(0.0, self._deliver, src, dst, message)
+            self._sim.post(0.0, self._deliver, src, dst, message)
             return
         sender = self.node(src)
         receiver = self.node(dst)
         if self._failures.suppresses_send(src, dst, message):
             return
-        size = message.size_bytes()
+        size = _message_size(message)
         link = self._topology.link(sender.region, receiver.region)
         transmit = size / link.bandwidth_bytes_per_s
         if sender.region == receiver.region:
@@ -143,7 +161,8 @@ class Network:
             observer(src, dst, message, size, is_local)
         if self._failures.drops_in_flight(src, dst, message):
             return
-        self._sim.schedule(arrival_delay, self._deliver, src, dst, message)
+        # Deliveries are never cancelled: use the allocation-free path.
+        self._sim.post(arrival_delay, self._deliver, src, dst, message)
 
     def multicast(self, src: NodeId, dsts: Iterable[NodeId],
                   message: SizedMessage) -> None:

@@ -6,6 +6,20 @@ virtual time; nothing in the library reads the wall clock.  Events at
 equal timestamps fire in scheduling order, so a run is a pure function of
 its configuration and seed, which the safety and determinism tests rely
 on.
+
+Two scheduling paths share one queue and one sequence counter:
+
+* :meth:`Simulation.schedule` returns a cancellable :class:`Timer` —
+  used for view-change timeouts and anything else that may be cancelled.
+* :meth:`Simulation.post` is the fast path for the vast majority of
+  events (message deliveries, deferred sends) that are never cancelled:
+  no ``Timer`` object is allocated, the callback and args ride directly
+  in the heap entry.
+
+Because both paths consume the same monotonically increasing sequence
+number, mixing them cannot reorder events: determinism is a property of
+the (deadline, seq) pair, which is identical whichever path created the
+event.
 """
 
 from __future__ import annotations
@@ -68,7 +82,11 @@ class Simulation:
     def __init__(self, seed: int = 0):
         self._now = 0.0
         self._seq = 0
-        self._queue: list[tuple[float, int, Timer]] = []
+        # Heap entries are (deadline, seq, timer, fn, args): ``schedule``
+        # pushes (deadline, seq, Timer, None, None); ``post`` pushes
+        # (deadline, seq, None, fn, args).  ``seq`` is unique, so tuple
+        # comparison never reaches the non-comparable tail.
+        self._queue: list[tuple] = []
         self._events_processed = 0
         self.rng = random.Random(seed)
 
@@ -98,9 +116,25 @@ class Simulation:
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past: {delay}")
         timer = Timer(self._now + delay, fn, args)
-        heapq.heappush(self._queue, (timer.deadline, self._seq, timer))
+        heapq.heappush(self._queue, (timer.deadline, self._seq, timer, None, None))
         self._seq += 1
         return timer
+
+    def post(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
+        """Fast-path schedule for events that are never cancelled.
+
+        Identical ordering semantics to :meth:`schedule` (same clock,
+        same sequence counter) but no :class:`Timer` is allocated — the
+        callback rides in the heap entry.  Use for message deliveries and
+        other fire-and-forget events; use :meth:`schedule` when the
+        caller needs a cancellation handle.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: {delay}")
+        heapq.heappush(
+            self._queue, (self._now + delay, self._seq, None, fn, args)
+        )
+        self._seq += 1
 
     def schedule_at(self, when: float, fn: Callable[..., None],
                     *args: Any) -> Timer:
@@ -116,29 +150,40 @@ class Simulation:
         ``max_events`` bounds the number of fired events, guarding tests
         against accidental infinite message loops.
         """
+        queue = self._queue
+        pop = heapq.heappop
         fired = 0
-        while self._queue:
-            deadline, _seq, timer = self._queue[0]
+        while queue:
+            entry = queue[0]
+            deadline = entry[0]
             if until is not None and deadline > until:
                 self._now = until
                 return
-            heapq.heappop(self._queue)
+            pop(queue)
             self._now = deadline
             self._events_processed += 1
-            timer._fire()
-            if not timer.cancelled:
-                fired += 1
-                if max_events is not None and fired >= max_events:
-                    return
+            timer = entry[2]
+            if timer is None:
+                entry[3](*entry[4])
+            else:
+                timer._fire()
+                if timer.cancelled:
+                    continue
+            fired += 1
+            if max_events is not None and fired >= max_events:
+                return
         if until is not None:
             self._now = max(self._now, until)
 
     def step(self) -> bool:
         """Fire exactly one queued event.  Returns ``False`` if idle."""
         while self._queue:
-            deadline, _seq, timer = heapq.heappop(self._queue)
+            deadline, _seq, timer, fn, args = heapq.heappop(self._queue)
             self._now = deadline
             self._events_processed += 1
+            if timer is None:
+                fn(*args)
+                return True
             if timer.cancelled:
                 continue
             timer._fire()

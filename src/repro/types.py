@@ -28,31 +28,64 @@ class NodeId:
     ``kind`` is ``"replica"`` or ``"client"``; replicas additionally carry
     the cluster they belong to and their index (the paper's ``id(R)``,
     which is 1-based within a cluster).
+
+    Node ids key nearly every dict in the simulator's hot loop (uplink
+    queues, commit votes, metrics) and are stringified into every signed
+    payload, so both ``hash()`` and ``str()`` are memoized per instance.
     """
 
     kind: str
     cluster: ClusterId
     index: int
 
-    def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return f"{self.kind[0]}{self.cluster}.{self.index}"
+    def __str__(self) -> str:
+        s = self.__dict__.get("_str")
+        if s is None:
+            s = f"{self.kind[0]}{self.cluster}.{self.index}"
+            object.__setattr__(self, "_str", s)
+        return s
+
+    def __hash__(self) -> int:
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash((self.kind, self.cluster, self.index))
+            object.__setattr__(self, "_hash", h)
+        return h
+
+
+# Node ids are value objects constructed millions of times per run; the
+# factory functions intern them so equal ids are the *same* object and
+# dict lookups take the identity fast path instead of dataclass __eq__.
+_node_id_intern: dict = {}
 
 
 def replica_id(cluster: ClusterId, index: int) -> NodeId:
     """Return the :class:`NodeId` of replica ``index`` in ``cluster``.
 
-    ``index`` follows the paper's convention and is 1-based.
+    ``index`` follows the paper's convention and is 1-based.  Interned:
+    repeated calls return the same instance.
     """
     if index < 1:
         raise ConfigurationError(f"replica index must be >= 1, got {index}")
-    return NodeId("replica", cluster, index)
+    key = ("replica", cluster, index)
+    node = _node_id_intern.get(key)
+    if node is None:
+        node = _node_id_intern[key] = NodeId(*key)
+    return node
 
 
 def client_id(cluster: ClusterId, index: int) -> NodeId:
-    """Return the :class:`NodeId` of client ``index`` local to ``cluster``."""
+    """Return the :class:`NodeId` of client ``index`` local to ``cluster``.
+
+    Interned like :func:`replica_id`.
+    """
     if index < 1:
         raise ConfigurationError(f"client index must be >= 1, got {index}")
-    return NodeId("client", cluster, index)
+    key = ("client", cluster, index)
+    node = _node_id_intern.get(key)
+    if node is None:
+        node = _node_id_intern[key] = NodeId(*key)
+    return node
 
 
 def max_faulty(n: int) -> int:

@@ -144,7 +144,7 @@ class QuorumClient:
         unsigned = ClientRequestBatch(batch_id, self._node_id, batch, None)
         request = ClientRequestBatch(
             batch_id, self._node_id, batch,
-            self._signer.sign(unsigned.payload()),
+            self._signer.sign(unsigned),
         )
         pending = _PendingBatch(request, self._sim.now)
         self._pending[batch_id] = pending
