@@ -38,6 +38,8 @@ from ..net.topology import Topology
 from ..types import ClusterId, NodeId, client_id, max_faulty, replica_id
 from ..workload.client import QuorumClient
 from ..workload.ycsb import YcsbWorkload
+from ..crypto.digests import encoding_cache_stats
+from .instrumentation import Instrumentation
 from .metrics import Metrics
 
 PROTOCOLS = ("geobft", "pbft", "zyzzyva", "hotstuff", "steward")
@@ -79,6 +81,10 @@ class ExperimentConfig:
     costs: CryptoCostModel = field(default_factory=CryptoCostModel)
     topology: Optional[Topology] = None
     max_batches_per_client: Optional[int] = None
+    #: Enable the observability hub (consensus-phase spans, queue
+    #: samples, exports).  Observation-only: simulated results are
+    #: byte-identical with this on or off.
+    instrument: bool = False
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
@@ -134,6 +140,13 @@ class ExperimentResult:
     local_bytes: int
     global_bytes: int
     safety_ok: bool
+    # Trailing defaults: populated from Metrics on every run (with or
+    # without instrumentation), so result digests are trace-independent.
+    p95_latency_s: float = 0.0
+    p99_latency_s: float = 0.0
+    submitted_txns: int = 0
+    measured_submitted_txns: int = 0
+    offered_load_txn_s: float = 0.0
 
     def describe(self) -> str:
         """One human-readable line, roughly a figure data point."""
@@ -196,6 +209,13 @@ class Deployment:
         self.metrics = Metrics(warmup=config.warmup)
         self.network = Network(self.sim, self.topology)
         self.network.add_observer(self.metrics.network_observer)
+        # Observability hub, or None (the zero-cost default): replicas
+        # emit phase events into it; it only ever reads sim.now.
+        self.instrumentation: Optional[Instrumentation] = (
+            Instrumentation(self.sim) if config.instrument else None)
+        # Encoding-cache counters are process-wide; snapshot them so this
+        # run's delta can be reported.
+        self._encoding_baseline = encoding_cache_stats().snapshot()
         # One verification memo for the whole deployment: replicas share
         # it through the registry (signatures) and their MAC
         # authenticators, so a certificate forwarded to n replicas is
@@ -328,6 +348,7 @@ class Deployment:
                     cores=cfg.cores,
                     record_count=cfg.record_count,
                     metrics=self.metrics,
+                    instrumentation=self.instrumentation,
                     threshold_schemes=schemes,
                 )
         self._make_quorum_clients(
@@ -354,6 +375,7 @@ class Deployment:
                     cores=cfg.cores,
                     record_count=cfg.record_count,
                     metrics=self.metrics,
+                    instrumentation=self.instrumentation,
                 )
         big_f = max_faulty(len(members))
         self._make_quorum_clients(
@@ -378,6 +400,7 @@ class Deployment:
                     cores=cfg.cores,
                     record_count=cfg.record_count,
                     metrics=self.metrics,
+                    instrumentation=self.instrumentation,
                 )
         salt = 10_000
         for c in sorted(self.cluster_members):
@@ -417,6 +440,7 @@ class Deployment:
                     cores=cfg.cores,
                     record_count=cfg.record_count,
                     metrics=self.metrics,
+                    instrumentation=self.instrumentation,
                 )
         big_f = max_faulty(len(members))
         self._make_quorum_clients(
@@ -447,6 +471,7 @@ class Deployment:
                     cores=cfg.cores,
                     record_count=cfg.record_count,
                     metrics=self.metrics,
+                    instrumentation=self.instrumentation,
                 )
         self._make_quorum_clients(
             primary_for=lambda c, j: [self.cluster_members[c][0]],
@@ -479,7 +504,22 @@ class Deployment:
             local_bytes=self.metrics.local_bytes,
             global_bytes=self.metrics.global_bytes,
             safety_ok=self.check_safety(),
+            p95_latency_s=self.metrics.p95_latency_s(),
+            p99_latency_s=self.metrics.p99_latency_s(),
+            submitted_txns=self.metrics.submitted_txns,
+            measured_submitted_txns=self.metrics.measured_submitted_txns,
+            offered_load_txn_s=self.metrics.offered_load_txn_s(),
         )
+
+    def encoding_cache_delta(self) -> Dict[str, int]:
+        """This deployment's CachedEncodable hit/miss increments.
+
+        The underlying counters are process-wide; the delta is taken
+        against a snapshot from construction time.  Other deployments
+        running concurrently in the same process would pollute it — the
+        CLI and tests run deployments one at a time.
+        """
+        return encoding_cache_stats().delta_since(self._encoding_baseline)
 
     # ------------------------------------------------------------------
     # Safety auditing (Theorem 2.8)
@@ -548,3 +588,33 @@ class Deployment:
 def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     """Build and run one experiment (the harness's main entry point)."""
     return Deployment(config).run()
+
+
+def deployment_digest(deployment: Deployment,
+                      result: ExperimentResult) -> str:
+    """SHA-256 over everything a run *simulates*.
+
+    Covers the full result row, the simulator's event count, and every
+    replica's ledger head/height.  Instrumentation is observation-only,
+    so the digest of an instrumented run must equal the digest of the
+    same configuration run without it — ``repro trace
+    --assert-determinism`` and the tracing smoke test both check this.
+    """
+    import hashlib
+    import json
+    from dataclasses import asdict
+
+    ledgers = sorted(
+        (str(node), replica.ledger.height,
+         replica.ledger.head_hash.hex())
+        for node, replica in deployment.replicas.items()
+    )
+    payload = json.dumps(
+        {
+            "result": asdict(result),
+            "events_processed": deployment.sim.events_processed,
+            "ledgers": ledgers,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

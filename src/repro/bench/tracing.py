@@ -9,6 +9,7 @@ for tests that assert on *when* and *where* specific messages flowed
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Type
 
@@ -37,6 +38,12 @@ class TraceEvent:
 class MessageTracer:
     """Bounded send log with type filtering.
 
+    When the buffer fills, ``keep="first"`` (the default) drops new
+    events and ``keep="last"`` runs as a ring buffer retaining the most
+    recent ``max_events``; either way ``dropped`` counts the casualties
+    and the first drop emits a one-line warning through the optional
+    :class:`~repro.bench.instrumentation.Instrumentation` hub.
+
     Usage::
 
         tracer = MessageTracer.attach(deployment.network,
@@ -49,12 +56,21 @@ class MessageTracer:
     def __init__(self, network: Network,
                  kinds: Optional[Iterable[Type]] = None,
                  max_events: int = 100_000,
-                 predicate: Optional[Callable[..., bool]] = None):
+                 predicate: Optional[Callable[..., bool]] = None,
+                 keep: str = "first",
+                 instrumentation=None):
+        if keep not in ("first", "last"):
+            raise ValueError(f"keep must be 'first' or 'last', got {keep!r}")
         self._network = network
         self._kinds = tuple(kinds) if kinds is not None else None
         self._max_events = max_events
         self._predicate = predicate
-        self._events: List[TraceEvent] = []
+        self._keep = keep
+        self._instrumentation = instrumentation
+        if keep == "last":
+            self._events: "deque[TraceEvent]" = deque(maxlen=max_events)
+        else:
+            self._events = []
         self._dropped = 0
 
     @classmethod
@@ -62,12 +78,23 @@ class MessageTracer:
                kinds: Optional[Iterable[Type]] = None,
                max_events: int = 100_000,
                predicate: Optional[Callable[..., bool]] = None,
+               keep: str = "first",
+               instrumentation=None,
                ) -> "MessageTracer":
         """Create a tracer and register it with ``network``."""
         tracer = cls(network, kinds=kinds, max_events=max_events,
-                     predicate=predicate)
+                     predicate=predicate, keep=keep,
+                     instrumentation=instrumentation)
         network.add_observer(tracer._observe)
         return tracer
+
+    def _note_drop(self) -> None:
+        self._dropped += 1
+        if self._dropped == 1 and self._instrumentation is not None:
+            self._instrumentation.warn_once(
+                ("tracer-full", id(self)),
+                f"MessageTracer buffer full ({self._max_events} events); "
+                f"{'overwriting oldest' if self._keep == 'last' else 'dropping new'} events")
 
     def _observe(self, src: NodeId, dst: NodeId, message, size: int,
                  is_local: bool) -> None:
@@ -77,8 +104,9 @@ class MessageTracer:
                 src, dst, message):
             return
         if len(self._events) >= self._max_events:
-            self._dropped += 1
-            return
+            self._note_drop()
+            if self._keep == "first":
+                return
         self._events.append(TraceEvent(
             time=self._network.simulation.now,
             kind=type(message).__name__,

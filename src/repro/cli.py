@@ -3,6 +3,8 @@
 Commands:
 
 * ``run``      — run one experiment and print its result line.
+* ``trace``    — run one instrumented experiment, print phase/latency
+  tables, and export Chrome trace_event + JSONL phase traces.
 * ``compare``  — run several protocols on the same deployment and print
   a comparison table.
 * ``table1``   — print the Table 1 topology matrix the simulator uses.
@@ -24,8 +26,22 @@ import sys
 from typing import List, Optional
 
 from .analysis.complexity import analytic_complexity
-from .bench.deployment import PROTOCOLS, ExperimentConfig, run_experiment
-from .bench.reporting import format_table, summarize_results
+from .bench.deployment import (
+    PROTOCOLS,
+    ExperimentConfig,
+    deployment_digest,
+    run_experiment,
+)
+from .bench.reporting import (
+    format_cache_report,
+    format_latency_percentiles,
+    format_phase_durations,
+    format_queue_samples,
+    format_runtime_telemetry,
+    format_share_latency,
+    format_table,
+    summarize_results,
+)
 from .bench.scenarios import SCENARIOS
 from .net.topology import PAPER_REGIONS, Topology
 
@@ -52,7 +68,8 @@ def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
                              "run, identical simulated results)")
 
 
-def _config_from_args(args, protocol: str) -> ExperimentConfig:
+def _config_from_args(args, protocol: str,
+                      instrument: bool = False) -> ExperimentConfig:
     return ExperimentConfig(
         protocol=protocol,
         num_clusters=args.clusters,
@@ -63,14 +80,40 @@ def _config_from_args(args, protocol: str) -> ExperimentConfig:
         warmup=args.warmup,
         seed=args.seed,
         fast_crypto=not args.real_crypto,
+        instrument=instrument,
     )
+
+
+def _export_traces(deployment, trace_out: str, trace_jsonl: str) -> None:
+    instr = deployment.instrumentation
+    if trace_out:
+        spans = instr.export_chrome_trace(trace_out)
+        print(f"  wrote {spans} trace events to {trace_out} "
+              f"(open with chrome://tracing or ui.perfetto.dev)")
+    if trace_jsonl:
+        lines = instr.export_jsonl(trace_jsonl)
+        print(f"  wrote {lines} phase events to {trace_jsonl}")
+
+
+def _print_observability(deployment) -> None:
+    instr = deployment.instrumentation
+    print()
+    print(format_phase_durations(instr))
+    share = format_share_latency(instr)
+    if not share.startswith("("):
+        print()
+        print(share)
+    print()
+    print(format_queue_samples(instr))
 
 
 def _cmd_run(args) -> int:
     from .bench.deployment import Deployment
     from .bench.scenarios import apply_scenario
 
-    deployment = Deployment(_config_from_args(args, args.protocol))
+    instrument = bool(args.trace_out or args.trace_jsonl)
+    deployment = Deployment(
+        _config_from_args(args, args.protocol, instrument=instrument))
     if args.scenario != "none":
         victims = apply_scenario(deployment, args.scenario,
                                  fail_at=args.fail_at)
@@ -79,10 +122,16 @@ def _cmd_run(args) -> int:
               + (f" at t={args.fail_at}s" if args.fail_at else ""))
     result = deployment.run()
     print(result.describe())
+    print(format_latency_percentiles(result))
     print(f"  global: {result.global_messages} msgs / "
           f"{result.global_bytes / 1e6:.2f} MB   "
           f"local: {result.local_messages} msgs / "
           f"{result.local_bytes / 1e6:.2f} MB")
+    print()
+    print(format_cache_report(deployment))
+    if instrument:
+        _print_observability(deployment)
+        _export_traces(deployment, args.trace_out, args.trace_jsonl)
     if args.traffic:
         from .analysis.traffic import format_link_report, link_usage
         rows = link_usage(deployment.metrics, deployment.topology,
@@ -90,6 +139,49 @@ def _cmd_run(args) -> int:
         print("\nper-link traffic (heaviest first):")
         print(format_link_report(rows))
     return 0 if result.safety_ok else 1
+
+
+def _cmd_trace(args) -> int:
+    from .bench.deployment import Deployment
+    from .bench.scenarios import apply_scenario
+
+    def _run(instrument: bool):
+        deployment = Deployment(
+            _config_from_args(args, args.protocol, instrument=instrument))
+        if args.scenario != "none":
+            apply_scenario(deployment, args.scenario, fail_at=args.fail_at)
+        result = deployment.run()
+        return deployment, result
+
+    deployment, result = _run(instrument=True)
+    instr = deployment.instrumentation
+    print(result.describe())
+    print(format_latency_percentiles(result))
+    print()
+    print(instr.summary())
+    _print_observability(deployment)
+    print()
+    print(format_cache_report(deployment))
+    print()
+    print(format_runtime_telemetry(deployment))
+    print()
+    _export_traces(deployment, args.out, args.jsonl)
+
+    ok = result.safety_ok
+    if args.assert_determinism:
+        digest_on = deployment_digest(deployment, result)
+        baseline, baseline_result = _run(instrument=False)
+        digest_off = deployment_digest(baseline, baseline_result)
+        if digest_on == digest_off:
+            print(f"  determinism: ok (digest {digest_on[:16]}..., "
+                  f"trace on == trace off)")
+        else:
+            print("  determinism: VIOLATED — instrumentation perturbed "
+                  "the simulation")
+            print(f"    trace on:  {digest_on}")
+            print(f"    trace off: {digest_off}")
+            ok = False
+    return 0 if ok else 1
 
 
 def _cmd_compare(args) -> int:
@@ -160,8 +252,32 @@ def build_parser() -> argparse.ArgumentParser:
                                  "simulated time")
     run_parser.add_argument("--traffic", action="store_true",
                             help="print per-region-link traffic report")
+    run_parser.add_argument("--trace-out", default="",
+                            help="write a Chrome trace_event JSON file "
+                                 "of consensus phase spans")
+    run_parser.add_argument("--trace-jsonl", default="",
+                            help="write raw phase events as JSON lines")
     _add_experiment_args(run_parser)
     run_parser.set_defaults(handler=_cmd_run)
+
+    trace_parser = commands.add_parser(
+        "trace", help="run one instrumented experiment and export "
+                      "consensus-phase traces")
+    trace_parser.add_argument("--protocol", "-p", choices=PROTOCOLS,
+                              default="geobft")
+    trace_parser.add_argument("--fail-at", type=float, default=0.0,
+                              help="schedule scenario crashes at this "
+                                   "simulated time")
+    trace_parser.add_argument("--out", default="trace.json",
+                              help="Chrome trace_event output path")
+    trace_parser.add_argument("--jsonl", default="",
+                              help="also write raw phase events as "
+                                   "JSON lines")
+    trace_parser.add_argument("--assert-determinism", action="store_true",
+                              help="re-run without instrumentation and "
+                                   "fail unless results are identical")
+    _add_experiment_args(trace_parser)
+    trace_parser.set_defaults(handler=_cmd_trace)
 
     compare_parser = commands.add_parser(
         "compare", help="run several protocols on one deployment")

@@ -68,10 +68,12 @@ class HotStuffReplica(BaseReplica):
 
     def __init__(self, node_id, region, sim, network, registry,
                  members: List[NodeId], pipeline_depth: int = 4,
-                 costs=None, cores=4, record_count=1000, metrics=None):
+                 costs=None, cores=4, record_count=1000, metrics=None,
+                 instrumentation=None):
         super().__init__(node_id, region, sim, network, registry,
                          costs=costs, cores=cores,
-                         record_count=record_count, metrics=metrics)
+                         record_count=record_count, metrics=metrics,
+                         instrumentation=instrumentation)
         if pipeline_depth < 1:
             raise ConfigurationError("pipeline_depth must be >= 1")
         self._members = list(members)
@@ -156,6 +158,10 @@ class HotStuffReplica(BaseReplica):
             height = self._next_height
             self._next_height += 1
             in_flight += 1
+            instr = self._instrumentation
+            if instr is not None:
+                instr.phase("proposed", self.node_id, self._instance,
+                            height)
             self.charge_cpu(self.costs.hash_small)
             digest = request.digest()
             state = self._state(self._instance, height)
@@ -199,6 +205,13 @@ class HotStuffReplica(BaseReplica):
                   [: self._quorum]),
         )
         state.qcs[vote.phase] = qc
+        instr = self._instrumentation
+        if instr is not None:
+            # QC formed: map HotStuff's phase names onto the lifecycle
+            # ("precommitted" is event-only, between prepared/committed).
+            lifecycle = {"prepare": "prepared", "precommit": "precommitted",
+                         "commit": "committed"}[vote.phase]
+            instr.phase(lifecycle, self.node_id, vote.instance, vote.height)
         next_phase = _NEXT_PHASE[vote.phase]
         carried = state.request if next_phase == "prepare" else None
         proposal = HsProposal(next_phase, vote.instance, vote.height,
@@ -286,6 +299,10 @@ class HotStuffReplica(BaseReplica):
         if state.executed or state.request is None:
             return
         state.executed = True
+        instr = self._instrumentation
+        if instr is not None:
+            instr.phase("executed", self.node_id, proposal.instance,
+                        proposal.height)
         request = state.request
         results, done_at = self.execute_batch(request.batch)
         self.ledger.append(proposal.height, proposal.instance,

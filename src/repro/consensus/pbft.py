@@ -137,6 +137,10 @@ class PbftEngine:
         # Optional owner veto on proposing a sequence number yet (used
         # by GeoBFT's round-pipeline ablation).
         self._can_propose = can_propose
+        # Observability hub; None (the common case) keeps emission sites
+        # to one attribute load + comparison.  getattr: test harnesses
+        # drive engines with owners that predate the attribute.
+        self._instr = getattr(owner, "instrumentation", None)
 
         self._view: ViewId = 0
         self._slots: Dict[SeqNum, _Slot] = {}
@@ -327,6 +331,10 @@ class PbftEngine:
     def _propose(self, request: ClientRequestBatch) -> None:
         seq = self._next_seq
         self._next_seq += 1
+        instr = self._instr
+        if instr is not None:
+            instr.phase("proposed", self._owner.node_id, self._cluster_id,
+                        seq)
         self._owner.charge_cpu(self._owner.costs.hash_small)
         digest = request.digest()
         preprepare = PrePrepare(self._cluster_id, self._view, seq, digest,
@@ -438,6 +446,10 @@ class PbftEngine:
         if slot.preprepare is None or len(prepared_by) < self._quorum:
             return
         slot.sent_commit = True
+        instr = self._instr
+        if instr is not None:
+            instr.phase("prepared", self._owner.node_id, self._cluster_id,
+                        seq)
         commit = Commit(self._cluster_id, self._view, seq, slot.digest,
                         self._owner.node_id, None)
         signed = Commit(commit.cluster_id, commit.view, commit.seq,
@@ -480,6 +492,7 @@ class PbftEngine:
         self._deliver_in_order()
 
     def _deliver_in_order(self) -> None:
+        instr = self._instr
         progressed = False
         while (self._delivered_upto + 1) in self._decided:
             self._delivered_upto += 1
@@ -491,10 +504,16 @@ class PbftEngine:
                 (self._decision_chain, seq, certificate.request.digest())
             )
             progressed = True
+            if instr is not None:
+                instr.phase("committed", self._owner.node_id,
+                            self._cluster_id, seq)
             self._on_decide(seq, request, certificate)
             if seq % self._config.checkpoint_interval == 0:
                 self._emit_checkpoint(seq)
         if progressed:
+            if instr is not None:
+                instr.sample("pbft.queued_requests", len(self._queue))
+                instr.sample("pbft.in_flight", self._in_flight())
             self._consecutive_vcs = 0
             self._arm_progress_timer(reset=True)
             self._pump_proposals()
@@ -644,6 +663,10 @@ class PbftEngine:
         self._in_view_change = True
         self._vc_target = target_view
         self._consecutive_vcs += 1
+        instr = self._instr
+        if instr is not None:
+            instr.phase("view_change", self._owner.node_id,
+                        self._cluster_id, target_view)
         if self._progress_timer is not None:
             self._progress_timer.cancel()
             self._progress_timer = None
@@ -762,6 +785,10 @@ class PbftEngine:
     def _adopt_new_view(self, msg: NewView) -> None:
         self._view = msg.new_view
         self._in_view_change = False
+        instr = self._instr
+        if instr is not None:
+            instr.phase("new_view", self._owner.node_id, self._cluster_id,
+                        msg.new_view)
         if self._new_view_timer is not None:
             self._new_view_timer.cancel()
             self._new_view_timer = None
@@ -838,10 +865,11 @@ class PbftReplica(BaseReplica):
 
     def __init__(self, node_id, region, sim, network, registry,
                  members, config=None, costs=None, cores=4,
-                 record_count=1000, metrics=None):
+                 record_count=1000, metrics=None, instrumentation=None):
         super().__init__(node_id, region, sim, network, registry,
                          costs=costs, cores=cores,
-                         record_count=record_count, metrics=metrics)
+                         record_count=record_count, metrics=metrics,
+                         instrumentation=instrumentation)
         self._engine = PbftEngine(
             owner=self,
             cluster_id=self.FLAT_GROUP_ID,
@@ -882,6 +910,10 @@ class PbftReplica(BaseReplica):
                            certificate,
                            batch_digest=request.digest(),
                            certificate_digest=certificate.digest())
+        instr = self._instrumentation
+        if instr is not None:
+            instr.phase("executed", self.node_id, self._engine.cluster_id,
+                        seq)
         if request.signature is None:
             return  # no-op fill, no client to answer
         reply = ClientReply(

@@ -77,7 +77,8 @@ class BaseReplica:
                  costs: Optional[CryptoCostModel] = None,
                  cores: int = DEFAULT_CORES,
                  record_count: int = 1000,
-                 metrics=None):
+                 metrics=None,
+                 instrumentation=None):
         self._node_id = node_id
         self._region = region
         self._sim = sim
@@ -93,6 +94,10 @@ class BaseReplica:
         self._executor = ExecutionEngine(self._store)
         self._ledger = Blockchain()
         self._metrics = metrics
+        # Optional observability hub (None when tracing is disabled).
+        # Set before subclass __init__ bodies run, so engines built
+        # there can snapshot it via ``getattr(owner, "instrumentation")``.
+        self._instrumentation = instrumentation
         # The dedicated execute thread of the paper's pipeline (§3):
         # batches execute serially on this lane, independent of the
         # worker cores.
@@ -161,6 +166,11 @@ class BaseReplica:
     def metrics(self):
         """Experiment metrics sink (may be ``None``)."""
         return self._metrics
+
+    @property
+    def instrumentation(self):
+        """Observability hub (``None`` when tracing is disabled)."""
+        return self._instrumentation
 
     # ------------------------------------------------------------------
     # Inbound path

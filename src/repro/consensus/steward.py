@@ -53,10 +53,12 @@ class StewardReplica(BaseReplica):
                  cluster_members: Dict[ClusterId, List[NodeId]],
                  primary_cluster: ClusterId,
                  config: Optional[PbftConfig] = None,
-                 costs=None, cores=4, record_count=1000, metrics=None):
+                 costs=None, cores=4, record_count=1000, metrics=None,
+                 instrumentation=None):
         super().__init__(node_id, region, sim, network, registry,
                          costs=costs, cores=cores,
-                         record_count=record_count, metrics=metrics)
+                         record_count=record_count, metrics=metrics,
+                         instrumentation=instrumentation)
         if primary_cluster not in cluster_members:
             raise ConfigurationError(
                 f"primary cluster {primary_cluster} not in deployment"
@@ -167,6 +169,9 @@ class StewardReplica(BaseReplica):
         # Site agreement complete: the representative forwards to the
         # primary cluster (redundantly, to f + 1 replicas).
         if self._engine.is_primary:
+            instr = self._instrumentation
+            if instr is not None:
+                instr.phase("shared", self.node_id, self._own_cluster, seq)
             self.charge_cpu(self.costs.threshold_combine)
             forward = StewardForward(self._own_cluster, seq, request,
                                      certificate)
@@ -227,6 +232,11 @@ class StewardReplica(BaseReplica):
             msg.certificate.verify(self.registry, quorum)
         except InvalidCertificateError:
             return
+        instr = self._instrumentation
+        if instr is not None:
+            instr.phase("share_received", self.node_id,
+                        self._primary_cluster, msg.global_seq,
+                        detail=self._own_cluster)
         if sender.cluster != self._own_cluster:
             # Local phase: fan the order out within the site.
             local = StewardGlobalOrder(msg.global_seq, msg.origin_cluster,
@@ -245,11 +255,16 @@ class StewardReplica(BaseReplica):
     def _deliver_global(self, gseq: SeqNum, request: ClientRequestBatch,
                         certificate: CommitCertificate) -> None:
         self._executed_upto = max(self._executed_upto, gseq)
+        instr = self._instrumentation
+        if instr is not None:
+            instr.phase("ordered", self.node_id, self._own_cluster, gseq)
         results, done_at = self.execute_batch(request.batch)
         self.ledger.append(gseq, self._primary_cluster, request.batch,
                            certificate,
                            batch_digest=request.digest(),
                            certificate_digest=certificate.digest())
+        if instr is not None:
+            instr.phase("executed", self.node_id, self._own_cluster, gseq)
         if (request.signature is not None
                 and request.client.cluster == self._own_cluster):
             reply = ClientReply(

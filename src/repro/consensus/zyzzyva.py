@@ -41,10 +41,11 @@ class ZyzzyvaReplica(BaseReplica):
 
     def __init__(self, node_id, region, sim, network, registry,
                  members: List[NodeId], costs=None, cores=4,
-                 record_count=1000, metrics=None):
+                 record_count=1000, metrics=None, instrumentation=None):
         super().__init__(node_id, region, sim, network, registry,
                          costs=costs, cores=cores,
-                         record_count=record_count, metrics=metrics)
+                         record_count=record_count, metrics=metrics,
+                         instrumentation=instrumentation)
         self._members = list(members)
         self._n = len(members)
         self._f = max_faulty(self._n)
@@ -109,6 +110,9 @@ class ZyzzyvaReplica(BaseReplica):
         self._seen_batch_ids.add(request.batch_id)
         seq = self._next_seq
         self._next_seq += 1
+        instr = self._instrumentation
+        if instr is not None:
+            instr.phase("proposed", self.node_id, 0, seq)
         self.charge_cpu(self.costs.hash_small)
         history = digest_of((self._history, seq, request.digest()))
         ordered = OrderedRequest(self._view, seq, history, request)
@@ -149,6 +153,9 @@ class ZyzzyvaReplica(BaseReplica):
             self._speculative_execute(msg)
 
     def _speculative_execute(self, msg: OrderedRequest) -> None:
+        instr = self._instrumentation
+        if instr is not None:
+            instr.phase("executed", self.node_id, 0, msg.seq)
         request = msg.request
         results, done_at = self.execute_batch(request.batch)
         self.ledger.append(msg.seq, 0, request.batch, msg,
@@ -193,6 +200,9 @@ class ZyzzyvaReplica(BaseReplica):
             ):
                 return
         self._committed.add(cert.seq)
+        instr = self._instrumentation
+        if instr is not None:
+            instr.phase("committed", self.node_id, 0, cert.seq)
         ack = LocalCommit(cert.view, cert.seq, cert.batch_id, self.node_id)
         self.send(sender, ack)
 

@@ -64,10 +64,12 @@ class GeoBftReplica(BaseReplica):
                  cores: int = 4,
                  record_count: int = 1000,
                  metrics=None,
+                 instrumentation=None,
                  threshold_schemes=None):
         super().__init__(node_id, region, sim, network, registry,
                          costs=costs, cores=cores,
-                         record_count=record_count, metrics=metrics)
+                         record_count=record_count, metrics=metrics,
+                         instrumentation=instrumentation)
         if node_id.cluster not in cluster_members:
             raise ConfigurationError(
                 f"{node_id} not part of any configured cluster"
@@ -319,6 +321,9 @@ class GeoBftReplica(BaseReplica):
     def _share_globally(self, round_id: RoundId,
                         certificate: CommitCertificate,
                         only_cluster: Optional[ClusterId] = None) -> None:
+        instr = self._instrumentation
+        if instr is not None:
+            instr.phase("shared", self.node_id, self._own_cluster, round_id)
         share = GlobalShare(round_id, self._own_cluster, certificate,
                             forwarded=False)
         for cluster in self._clusters:
@@ -362,6 +367,12 @@ class GeoBftReplica(BaseReplica):
                 return
         self._shares[key] = share
         self._have_share.add(key)
+        instr = self._instrumentation
+        if instr is not None:
+            # detail carries the receiving cluster, giving the hub the
+            # per-remote-cluster share-latency breakdown.
+            instr.phase("share_received", self.node_id, cluster, round_id,
+                        detail=self._own_cluster)
         self._note_round_known(round_id)
         self._rvc.on_share_received(cluster, round_id)
         if sender.cluster != self._own_cluster:
@@ -408,6 +419,10 @@ class GeoBftReplica(BaseReplica):
     # Step 3: ordering and execution (§2.4)
     # ------------------------------------------------------------------
     def _execute_round(self, round_id: RoundId, ordered) -> None:
+        instr = self._instrumentation
+        if instr is not None:
+            instr.phase("ordered", self.node_id, self._own_cluster,
+                        round_id)
         for cluster, request, certificate in ordered:
             results, done_at = self.execute_batch(request.batch)
             self.ledger.append(round_id, cluster, request.batch, certificate,
@@ -424,6 +439,15 @@ class GeoBftReplica(BaseReplica):
                     batch_len=len(request.batch),
                 )
                 self.send_at(done_at, request.client, reply)
+        if instr is not None:
+            instr.phase("executed", self.node_id, self._own_cluster,
+                        round_id)
+            # Round boundary: sample the queue depths the paper's
+            # pipeline analysis turns on.
+            instr.sample("geobft.queued_requests",
+                         self._engine.queued_requests)
+            instr.sample("geobft.in_flight", self._engine.in_flight)
+            instr.sample("sim.pending_events", self.sim.pending_events)
         if self.metrics is not None:
             self.metrics.record_round(self.node_id, round_id, self.sim.now)
         self._gc_shares(round_id)

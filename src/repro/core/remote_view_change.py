@@ -148,6 +148,12 @@ class RemoteViewChangeManager:
             return
         self._broadcast_drvc.add(key)
         self._vc_counts[cluster] = v + 1
+        # getattr: the manager is unit-tested with stub owners that
+        # predate the instrumentation attribute.
+        instr = getattr(self._owner, "instrumentation", None)
+        if instr is not None:
+            instr.phase("drvc", self._owner.node_id, cluster, round_id,
+                        detail=v)
         msg = Drvc(cluster, round_id, v, self._owner.node_id)
         self._record_drvc(msg, self._owner.node_id)
         self._owner.broadcast(self._own_members, msg)
@@ -183,6 +189,10 @@ class RemoteViewChangeManager:
 
     def _send_rvc(self, cluster: ClusterId, round_id: RoundId,
                   v: int) -> None:
+        instr = getattr(self._owner, "instrumentation", None)
+        if instr is not None:
+            instr.phase("rvc_sent", self._owner.node_id, cluster, round_id,
+                        detail=v)
         rvc = Rvc(cluster, round_id, v, self._owner.node_id, None)
         signed = Rvc(rvc.target_cluster, rvc.round_id, rvc.vc_count,
                      rvc.replica, self._owner.sign(rvc))
@@ -224,13 +234,22 @@ class RemoteViewChangeManager:
         if requester in self._honored:
             return  # replay protection: one view change per v per cluster
         now = self._owner.sim.now
+        instr = getattr(self._owner, "instrumentation", None)
         if now - self._last_local_view_change < self._recent_vc_window:
             # A recent local view change already replaced the primary;
             # remember what to resend but do not trigger another one.
             self._honored.add(requester)
+            if instr is not None:
+                instr.phase("rvc_honored", self._owner.node_id,
+                            self._own_cluster, msg.round_id,
+                            detail=msg.replica.cluster)
             self._note_resend(msg.replica.cluster, msg.round_id)
             return
         self._honored.add(requester)
+        if instr is not None:
+            instr.phase("rvc_honored", self._owner.node_id,
+                        self._own_cluster, msg.round_id,
+                        detail=msg.replica.cluster)
         self._note_resend(msg.replica.cluster, msg.round_id)
         self._on_local_failure()
 

@@ -39,6 +39,53 @@ from ..errors import CryptoError
 DIGEST_SIZE = 32
 
 
+class EncodingCacheStats:
+    """Process-wide hit/miss counters for the :class:`CachedEncodable`
+    memos (telemetry only — reading or resetting them never changes what
+    is encoded).
+
+    ``encode``/``digest`` count top-level :meth:`CachedEncodable.encoded`
+    / :meth:`CachedEncodable.payload_digest` calls; ``splice`` counts
+    nested cacheable objects encountered while encoding an enclosing
+    message (a splice hit reuses the child's cached bytes in place of a
+    payload-tree walk).
+    """
+
+    __slots__ = ("encode_hits", "encode_misses", "digest_hits",
+                 "digest_misses", "splice_hits", "splice_misses")
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
+        self.encode_hits = 0
+        self.encode_misses = 0
+        self.digest_hits = 0
+        self.digest_misses = 0
+        self.splice_hits = 0
+        self.splice_misses = 0
+
+    def snapshot(self) -> dict:
+        """Current counter values as a plain dict."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def delta_since(self, baseline: dict) -> dict:
+        """Counter increments since a :meth:`snapshot` was taken."""
+        return {name: getattr(self, name) - baseline.get(name, 0)
+                for name in self.__slots__}
+
+
+#: The process-wide counters.  Module-level (not per-deployment) because
+#: the caches themselves live on message instances that may flow through
+#: several deployments; per-run accounting snapshots and diffs this.
+ENCODING_STATS = EncodingCacheStats()
+
+
+def encoding_cache_stats() -> EncodingCacheStats:
+    """The process-wide :class:`EncodingCacheStats` instance."""
+    return ENCODING_STATS
+
+
 class CachedEncodable:
     """Mixin for immutable ``payload()``-bearing message objects.
 
@@ -57,10 +104,13 @@ class CachedEncodable:
         """Canonical byte encoding of ``payload()``, computed once."""
         cached = self.__dict__.get("_encoded_cache")
         if cached is None:
+            ENCODING_STATS.encode_misses += 1
             out: list[bytes] = []
             _encode(self, out)
             cached = b"".join(out)
             object.__setattr__(self, "_encoded_cache", cached)
+        else:
+            ENCODING_STATS.encode_hits += 1
         return cached
 
     def payload_digest(self) -> bytes:
@@ -72,8 +122,11 @@ class CachedEncodable:
         """
         cached = self.__dict__.get("_payload_digest_cache")
         if cached is None:
+            ENCODING_STATS.digest_misses += 1
             cached = hashlib.sha256(self.encoded()).digest()
             object.__setattr__(self, "_payload_digest_cache", cached)
+        else:
+            ENCODING_STATS.digest_hits += 1
         return cached
 
 
@@ -160,8 +213,10 @@ def _encode(value: Any, out: list[bytes]) -> None:
         elif isinstance(v, CachedEncodable):
             cached = v.__dict__.get("_encoded_cache")
             if cached is not None:
+                ENCODING_STATS.splice_hits += 1
                 emit(cached)
             else:
+                ENCODING_STATS.splice_misses += 1
                 # Encode payload(), then fold the produced bytes into one
                 # cached chunk attached to the instance (the _CacheMark
                 # pops only after the payload finished encoding).

@@ -112,6 +112,16 @@ class MacAuthenticator:
             self._cache.put(cache_key, outcome)
         return outcome
 
+    def stats(self) -> Dict[str, int]:
+        """Telemetry: memoized pair keys held by this authenticator.
+
+        Verification hit/miss telemetry lives on the shared
+        :class:`VerificationCache` (see ``kind_stats()["mac"]``); the
+        only per-authenticator state worth reporting is the pairwise-key
+        memo size.
+        """
+        return {"pair_keys": len(self._pair_keys)}
+
     def require_valid(self, mac: Mac, payload: Any) -> None:
         """Like :meth:`verify` but raises :class:`InvalidMacError`."""
         if not self.verify(mac, payload):

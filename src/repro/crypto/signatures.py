@@ -55,21 +55,34 @@ class VerificationCache:
     so adversarial workloads cannot grow it without limit.
     """
 
-    __slots__ = ("_entries", "_max_entries", "hits", "misses")
+    __slots__ = ("_entries", "_max_entries", "hits", "misses",
+                 "_kind_hits", "_kind_misses")
 
     def __init__(self, max_entries: int = 1 << 20):
         self._entries: Dict[Tuple, bool] = {}
         self._max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        # Per-kind split: kind is the key's leading string tag ("sig",
+        # "mac", ...) or "other" for untagged keys.  Telemetry only.
+        self._kind_hits: Dict[str, int] = {}
+        self._kind_misses: Dict[str, int] = {}
+
+    @staticmethod
+    def _kind_of(key: Tuple) -> str:
+        head = key[0] if key else None
+        return head if isinstance(head, str) else "other"
 
     def get(self, key: Tuple) -> Optional[bool]:
         """Cached outcome for ``key``, or ``None`` on a miss."""
+        kind = self._kind_of(key)
         outcome = self._entries.get(key)
         if outcome is None:
             self.misses += 1
+            self._kind_misses[kind] = self._kind_misses.get(kind, 0) + 1
             return None
         self.hits += 1
+        self._kind_hits[kind] = self._kind_hits.get(kind, 0) + 1
         return outcome is True
 
     def put(self, key: Tuple, outcome: bool) -> None:
@@ -85,6 +98,22 @@ class VerificationCache:
     def stats(self) -> Dict[str, int]:
         """Hit/miss counters, for benchmarks and tests."""
         return {"hits": self.hits, "misses": self.misses, "size": len(self._entries)}
+
+    def kind_stats(self) -> Dict[str, Dict[str, int]]:
+        """``{kind: {"hits": n, "misses": n}}`` split by key tag."""
+        kinds = set(self._kind_hits) | set(self._kind_misses)
+        return {
+            kind: {
+                "hits": self._kind_hits.get(kind, 0),
+                "misses": self._kind_misses.get(kind, 0),
+            }
+            for kind in sorted(kinds)
+        }
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
 
 
 @dataclass(frozen=True)

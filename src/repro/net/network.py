@@ -85,6 +85,12 @@ class Network:
         # (sender, destination region) -> time the uplink frees up.
         self._uplink_free_at: Dict[Tuple[NodeId, str], float] = {}
         self._observers: list[SendObserver] = []
+        # Telemetry counters (pure integers, never read by the model).
+        self._sends = 0
+        self._self_sends = 0
+        self._suppressed_sends = 0
+        self._in_flight_drops = 0
+        self._receiver_drops = 0
 
     @property
     def topology(self) -> Topology:
@@ -138,11 +144,13 @@ class Network:
         transmit time when the network or receiver loses it.
         """
         if src == dst:
+            self._self_sends += 1
             self._sim.post(0.0, self._deliver, src, dst, message)
             return
         sender = self.node(src)
         receiver = self.node(dst)
         if self._failures.suppresses_send(src, dst, message):
+            self._suppressed_sends += 1
             return
         size = _message_size(message)
         link = self._topology.link(sender.region, receiver.region)
@@ -157,9 +165,11 @@ class Network:
         self._uplink_free_at[key] = start + transmit
         arrival_delay = (start - self._sim.now) + transmit + link.latency_s
         is_local = sender.region == receiver.region
+        self._sends += 1
         for observer in self._observers:
             observer(src, dst, message, size, is_local)
         if self._failures.drops_in_flight(src, dst, message):
+            self._in_flight_drops += 1
             return
         # Deliveries are never cancelled: use the allocation-free path.
         self._sim.post(arrival_delay, self._deliver, src, dst, message)
@@ -176,10 +186,21 @@ class Network:
 
     def _deliver(self, src: NodeId, dst: NodeId, message) -> None:
         if self._failures.drops_at_receiver(src, dst, message):
+            self._receiver_drops += 1
             return
         node = self._nodes.get(dst)
         if node is not None:
             node.deliver(message, src)
+
+    def telemetry(self) -> Dict[str, int]:
+        """Send/drop counters (observability only)."""
+        return {
+            "sends": self._sends,
+            "self_sends": self._self_sends,
+            "suppressed_sends": self._suppressed_sends,
+            "in_flight_drops": self._in_flight_drops,
+            "receiver_drops": self._receiver_drops,
+        }
 
     def uplink_backlog(self, src: NodeId, dst_region: str) -> float:
         """Seconds of queued transmit time on one uplink (diagnostics).

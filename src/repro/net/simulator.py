@@ -88,6 +88,7 @@ class Simulation:
         # comparison never reaches the non-comparable tail.
         self._queue: list[tuple] = []
         self._events_processed = 0
+        self._max_queue = 0
         self.rng = random.Random(seed)
 
     @property
@@ -105,6 +106,11 @@ class Simulation:
         """Events still in the queue (including cancelled ones)."""
         return len(self._queue)
 
+    @property
+    def max_queue_depth(self) -> int:
+        """High-water mark of the event queue (telemetry)."""
+        return self._max_queue
+
     def schedule(self, delay: float, fn: Callable[..., None],
                  *args: Any) -> Timer:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now.
@@ -118,6 +124,8 @@ class Simulation:
         timer = Timer(self._now + delay, fn, args)
         heapq.heappush(self._queue, (timer.deadline, self._seq, timer, None, None))
         self._seq += 1
+        if len(self._queue) > self._max_queue:
+            self._max_queue = len(self._queue)
         return timer
 
     def post(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
@@ -135,6 +143,8 @@ class Simulation:
             self._queue, (self._now + delay, self._seq, None, fn, args)
         )
         self._seq += 1
+        if len(self._queue) > self._max_queue:
+            self._max_queue = len(self._queue)
 
     def schedule_at(self, when: float, fn: Callable[..., None],
                     *args: Any) -> Timer:

@@ -70,6 +70,55 @@ class TestCommands:
         assert "tput (txn/s)" in out
 
 
+class TestObservability:
+    def test_run_reports_percentiles_and_caches(self, capsys):
+        code = main([
+            "run", "-p", "geobft", "-z", "2", "-n", "4", "-b", "5",
+            "-d", "1.5", "-w", "0.3", "--clients", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "p50" in out and "p95" in out and "p99" in out
+        assert "offered load" in out
+        assert "cache telemetry" in out
+
+    def test_run_trace_out_writes_chrome_trace(self, capsys, tmp_path):
+        import json
+        trace = tmp_path / "out.json"
+        code = main([
+            "run", "-p", "geobft", "-z", "2", "-n", "4", "-b", "5",
+            "-d", "1.5", "-w", "0.3", "--clients", "1",
+            "--trace-out", str(trace),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "consensus phase durations" in out
+        assert "global share latency" in out
+        document = json.loads(trace.read_text())
+        assert any(e.get("cat") == "lifecycle"
+                   for e in document["traceEvents"])
+
+    def test_trace_command_asserts_determinism(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        jsonl = tmp_path / "trace.jsonl"
+        code = main([
+            "trace", "-p", "geobft", "-z", "2", "-n", "4", "-b", "5",
+            "-d", "1.5", "-w", "0.3", "--clients", "1",
+            "--out", str(trace), "--jsonl", str(jsonl),
+            "--assert-determinism",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "determinism: ok" in out
+        assert "runtime telemetry" in out
+        assert trace.exists() and jsonl.exists()
+
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.out == "trace.json"
+        assert not args.assert_determinism
+
+
 class TestTrafficFlag:
     def test_run_with_traffic_report(self, capsys):
         code = main([

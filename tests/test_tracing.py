@@ -85,3 +85,72 @@ def test_trace_event_str():
                        replica_id(2, 1), 6401, False)
     text = str(event)
     assert "GlobalShare" in text and "global" in text
+
+
+def test_tracer_dropped_accounting_exact():
+    deployment = Deployment(small_config("geobft", fast_crypto=True,
+                                         duration=1.0, warmup=0.2))
+    bounded = MessageTracer.attach(deployment.network, max_events=10)
+    unbounded = MessageTracer.attach(deployment.network)
+    deployment.run()
+    total = len(unbounded.events)
+    assert total > 10
+    assert bounded.dropped == total - 10
+    # keep="first" retains the *earliest* events.
+    assert bounded.events == unbounded.events[:10]
+
+
+def test_tracer_keep_last_is_ring_buffer():
+    deployment = Deployment(small_config("geobft", fast_crypto=True,
+                                         duration=1.0, warmup=0.2))
+    ring = MessageTracer.attach(deployment.network, max_events=10,
+                                keep="last")
+    unbounded = MessageTracer.attach(deployment.network)
+    deployment.run()
+    assert len(ring.events) == 10
+    assert ring.dropped == len(unbounded.events) - 10
+    # The ring retains the *latest* events.
+    assert ring.events == unbounded.events[-10:]
+
+
+def test_tracer_invalid_keep_rejected():
+    import pytest
+    deployment = Deployment(small_config("geobft", fast_crypto=True))
+    with pytest.raises(ValueError):
+        MessageTracer(deployment.network, keep="middle")
+
+
+def test_tracer_warns_through_hub_on_first_drop():
+    deployment = Deployment(small_config("geobft", fast_crypto=True,
+                                         duration=1.0, warmup=0.2,
+                                         instrument=True))
+    hub = deployment.instrumentation
+    tracer = MessageTracer.attach(deployment.network, max_events=5,
+                                  instrumentation=hub)
+    deployment.run()
+    assert tracer.dropped > 0
+    warnings = [w for w in hub.warnings if "MessageTracer" in w]
+    assert len(warnings) == 1  # once, not once per dropped event
+
+
+def test_tracer_between_absent_pair_empty():
+    deployment = Deployment(small_config("geobft", fast_crypto=True,
+                                         duration=1.0, warmup=0.2))
+    tracer = MessageTracer.attach(deployment.network)
+    deployment.run()
+    assert tracer.between(1, 99) == []
+    assert tracer.between(99, 1) == []
+
+
+def test_tracer_kind_and_predicate_compose():
+    deployment = Deployment(small_config("geobft", fast_crypto=True,
+                                         duration=1.0, warmup=0.2))
+    tracer = MessageTracer.attach(
+        deployment.network,
+        kinds=(GlobalShare,),
+        predicate=lambda src, dst, msg: dst.cluster == 2,
+    )
+    deployment.run()
+    assert tracer.events
+    assert all(e.kind == "GlobalShare" and e.dst.cluster == 2
+               for e in tracer.events)
