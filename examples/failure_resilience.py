@@ -14,9 +14,8 @@ whole system recovers.
 Run with:  python examples/failure_resilience.py
 """
 
-from repro import Deployment, ExperimentConfig, GeoBftConfig, PbftConfig
-from repro.consensus.messages import GlobalShare
-from repro.types import replica_id
+from repro import (Deployment, ExperimentConfig, FaultTimeline,
+                   GeoBftConfig, OmissionFault, PbftConfig)
 
 
 def main() -> None:
@@ -40,18 +39,16 @@ def main() -> None:
     )
     deployment = Deployment(config)
 
-    byzantine = replica_id(1, 1)  # Oregon's initial primary
-    deployment.network.failures.add_send_rule(
-        lambda src, dst, msg: (
-            src == byzantine
-            and isinstance(msg, GlobalShare)
-            and dst.cluster == 2
-        )
-    )
-    print(f"Byzantine behaviour installed: {byzantine} silently omits "
-          f"all global shares toward cluster 2 (Iowa).\n")
+    timeline = FaultTimeline([
+        OmissionFault("primary:1", messages=("GlobalShare",),
+                      to=["cluster:2"], name="silent-primary"),
+    ], name="remote-view-change-demo").install(deployment)
+    print("Byzantine behaviour installed: Oregon's primary silently "
+          "omits all global shares toward cluster 2 (Iowa).\n")
 
     result = deployment.run()
+    print(f"Byzantine actors excluded from the safety audit: "
+          f"{', '.join(str(n) for n in sorted(timeline.byzantine_nodes(), key=str))}\n")
 
     oregon = [r for n, r in deployment.replicas.items() if n.cluster == 1]
     iowa = [r for n, r in deployment.replicas.items() if n.cluster == 2]

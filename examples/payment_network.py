@@ -18,8 +18,7 @@ Run with:  python examples/payment_network.py
 
 import random
 
-from repro import Deployment, ExperimentConfig
-from repro.ledger.block import Transaction
+from repro import Deployment, ExperimentConfig, Transaction
 
 NUM_ACCOUNTS = 200
 

@@ -16,11 +16,10 @@ state every non-faulty replica holds.  It also shows the audit
 Run with:  python examples/replica_recovery.py
 """
 
-from repro import Deployment, ExperimentConfig
+from repro import (Deployment, ExperimentConfig, Transaction,
+                   recover_from_peer, replica_id)
 from repro.errors import TamperedLedgerError
-from repro.ledger.block import Block, Transaction
-from repro.ledger.recovery import recover_from_peer
-from repro.types import replica_id
+from repro.ledger.block import Block
 
 
 def main() -> None:

@@ -7,6 +7,12 @@ evaluation (PBFT, Zyzzyva, HotStuff, Steward), and a deterministic
 geo-scale network simulation substrate seeded with the paper's own
 Table 1 measurements.
 
+The *stable* surface is :mod:`repro.api`, re-exported here: experiment
+configs/results, the deployment builder, the scenario registry, and the
+chaos engine's fault timelines.  Lower-level building blocks (protocol
+replicas, ledger, workload, topology) are also re-exported for
+convenience but their module layout is an implementation detail.
+
 Quick start::
 
     from repro import ExperimentConfig, run_experiment
@@ -17,19 +23,48 @@ Quick start::
     ))
     print(result.describe())
 
-See ``examples/`` for runnable scenarios and ``benchmarks/`` for the
-scripts that regenerate every table and figure of the paper.
+Fault injection::
+
+    from repro import Deployment, FaultTimeline, CrashFault
+
+    deployment = Deployment(config)
+    FaultTimeline([CrashFault("primary:1", at=1.0)]).install(deployment)
+    result = deployment.run()
+    assert deployment.invariants.ok
+
+See ``examples/`` for runnable scenarios, ``docs/fault_injection.md``
+for the fault taxonomy, and ``benchmarks/`` for the scripts that
+regenerate every table and figure of the paper.
 """
 
-from .bench.deployment import (
+from .api import (
+    PROTOCOLS,
+    SCENARIOS,
+    ChaosContext,
+    CrashFault,
     Deployment,
+    EquivocateFault,
     ExperimentConfig,
     ExperimentResult,
+    FAULT_KINDS,
+    Fault,
+    FaultTimeline,
+    InvariantReport,
+    LinkDelayFault,
+    MessageLossFault,
+    OmissionFault,
+    PartitionFault,
+    TamperFault,
+    apply_scenario,
+    chaos_smoke_timeline,
+    deployment_digest,
+    fault_from_dict,
+    register_scenario,
     run_experiment,
+    scenario_names,
 )
 from .bench.charts import ascii_chart, bar_chart
 from .bench.metrics import Metrics
-from .bench.scenarios import apply_scenario
 from .bench.tracing import MessageTracer
 from .consensus.hotstuff import HotStuffReplica
 from .consensus.pbft import PbftConfig, PbftEngine, PbftReplica
@@ -48,15 +83,36 @@ from .types import ClusterSpec, NodeId, client_id, max_faulty, replica_id
 from .workload.client import QuorumClient
 from .workload.ycsb import YcsbWorkload
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # stable API (repro.api)
+    "PROTOCOLS",
+    "SCENARIOS",
+    "ChaosContext",
+    "CrashFault",
     "Deployment",
+    "EquivocateFault",
     "ExperimentConfig",
     "ExperimentResult",
-    "run_experiment",
-    "Metrics",
+    "FAULT_KINDS",
+    "Fault",
+    "FaultTimeline",
+    "InvariantReport",
+    "LinkDelayFault",
+    "MessageLossFault",
+    "OmissionFault",
+    "PartitionFault",
+    "TamperFault",
     "apply_scenario",
+    "chaos_smoke_timeline",
+    "deployment_digest",
+    "fault_from_dict",
+    "register_scenario",
+    "run_experiment",
+    "scenario_names",
+    # convenience re-exports (layout may change)
+    "Metrics",
     "HotStuffReplica",
     "PbftConfig",
     "PbftEngine",

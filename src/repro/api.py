@@ -1,0 +1,99 @@
+"""The stable public API of the reproduction.
+
+Everything an experiment driver, notebook, or test needs lives here
+under one flat namespace — import from :mod:`repro` (which re-exports
+this module) instead of deep-importing ``repro.bench.deployment`` or
+other internals, whose layout may change between versions:
+
+* **Running experiments** — :class:`ExperimentConfig` (one data point's
+  knobs), :func:`run_experiment` (build + run + aggregate),
+  :class:`ExperimentResult` (the row, with ``describe()``/``to_dict()``/
+  ``to_json()``), :class:`Deployment` for staged control (build, arrange
+  faults, ``run()``), and :func:`deployment_digest` for determinism
+  checks.
+* **Fault injection** — :class:`FaultTimeline` plus the fault taxonomy
+  (:class:`CrashFault`, :class:`PartitionFault`, :class:`LinkDelayFault`,
+  :class:`MessageLossFault`, :class:`OmissionFault`, :class:`TamperFault`,
+  :class:`EquivocateFault`), :func:`apply_scenario` /
+  :func:`register_scenario` for the named-scenario registry, and
+  :class:`InvariantReport` from the post-run safety+liveness audit.
+
+Typical staged run::
+
+    from repro import (Deployment, ExperimentConfig, FaultTimeline,
+                       CrashFault, PartitionFault)
+
+    deployment = Deployment(ExperimentConfig(protocol="geobft",
+                                             num_clusters=2,
+                                             replicas_per_cluster=4,
+                                             duration=6.0, warmup=1.0))
+    FaultTimeline([
+        CrashFault("primary:1", at=1.0),
+        PartitionFault(["cluster:1"], ["cluster:2"], at=2.0, until=3.5),
+    ]).install(deployment)
+    result = deployment.run()
+    assert deployment.invariants.ok
+"""
+
+from __future__ import annotations
+
+from .bench.deployment import (
+    PROTOCOLS,
+    Deployment,
+    ExperimentConfig,
+    ExperimentResult,
+    InvariantReport,
+    deployment_digest,
+    run_experiment,
+)
+from .bench.scenarios import (
+    SCENARIOS,
+    apply_scenario,
+    chaos_smoke_timeline,
+    register_scenario,
+    scenario_names,
+)
+from .net.chaos import (
+    ChaosContext,
+    CrashFault,
+    EquivocateFault,
+    FAULT_KINDS,
+    Fault,
+    FaultTimeline,
+    LinkDelayFault,
+    MessageLossFault,
+    OmissionFault,
+    PartitionFault,
+    TamperFault,
+    fault_from_dict,
+)
+
+__all__ = [
+    # experiments
+    "PROTOCOLS",
+    "Deployment",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "InvariantReport",
+    "deployment_digest",
+    "run_experiment",
+    # scenarios
+    "SCENARIOS",
+    "apply_scenario",
+    "chaos_smoke_timeline",
+    "register_scenario",
+    "scenario_names",
+    # fault injection
+    "ChaosContext",
+    "CrashFault",
+    "EquivocateFault",
+    "FAULT_KINDS",
+    "Fault",
+    "FaultTimeline",
+    "LinkDelayFault",
+    "MessageLossFault",
+    "OmissionFault",
+    "PartitionFault",
+    "TamperFault",
+    "fault_from_dict",
+]

@@ -147,15 +147,30 @@ class ExperimentResult:
     submitted_txns: int = 0
     measured_submitted_txns: int = 0
     offered_load_txn_s: float = 0.0
+    #: Whether throughput resumed after every expected-recoverable fault
+    #: window (always True when no fault timeline was installed).
+    liveness_ok: bool = True
 
     def describe(self) -> str:
         """One human-readable line, roughly a figure data point."""
+        liveness = "" if self.liveness_ok else "  liveness=STALLED"
         return (
             f"{self.protocol:>9}  z={self.num_clusters} "
             f"n={self.replicas_per_cluster} batch={self.batch_size}  "
             f"tput={self.throughput_txn_s:>10.0f} txn/s  "
-            f"lat={self.avg_latency_s:7.3f} s  safety={'ok' if self.safety_ok else 'VIOLATED'}"
+            f"lat={self.avg_latency_s:7.3f} s  "
+            f"safety={'ok' if self.safety_ok else 'VIOLATED'}{liveness}"
         )
+
+    def to_dict(self) -> Dict[str, object]:
+        """The result row as a plain dict (machine-readable results)."""
+        from dataclasses import asdict
+        return asdict(self)
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """The result row as JSON (what ``repro run --json`` emits)."""
+        import json
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
 
 class _FastKeyRegistry(KeyRegistry):
@@ -195,6 +210,40 @@ class _FastKeyRegistry(KeyRegistry):
                 and self.is_registered(signature.signer))
 
 
+@dataclass(frozen=True)
+class InvariantReport:
+    """Outcome of the post-run safety+liveness audit.
+
+    * ``safety_ok`` — no two honest (non-crashed, non-Byzantine)
+      replicas executed different requests in the same round.
+    * ``liveness_ok`` — the ledgers made progress after every fault
+      window that expected recovery (view change / remote view change
+      actually fired); trivially true without a fault timeline.
+    """
+
+    safety_ok: bool
+    liveness_ok: bool
+    liveness_failures: tuple = ()
+    byzantine_excluded: tuple = ()
+
+    @property
+    def ok(self) -> bool:
+        """Both invariants held."""
+        return self.safety_ok and self.liveness_ok
+
+    def describe(self) -> str:
+        """Short multi-line audit summary."""
+        lines = [f"safety:   {'ok' if self.safety_ok else 'VIOLATED'}",
+                 f"liveness: {'ok' if self.liveness_ok else 'STALLED'}"]
+        for failure in self.liveness_failures:
+            lines.append(f"  {failure}")
+        if self.byzantine_excluded:
+            excluded = ", ".join(str(n) for n in self.byzantine_excluded)
+            lines.append(f"byzantine replicas excluded from the honest "
+                         f"set: {excluded}")
+        return "\n".join(lines)
+
+
 class Deployment:
     """A built, runnable system: simulator, network, replicas, clients."""
 
@@ -231,6 +280,10 @@ class Deployment:
         self.cluster_members: Dict[ClusterId, List[NodeId]] = {}
         self.replicas: Dict[NodeId, object] = {}
         self.clients: List[object] = []
+        #: Set by FaultTimeline.install(); consulted by check_invariants.
+        self.timeline = None
+        #: The last InvariantReport produced by run()/check_invariants().
+        self.invariants: Optional[InvariantReport] = None
         self._build()
 
     # ------------------------------------------------------------------
@@ -489,6 +542,7 @@ class Deployment:
             self.sim.schedule(0.0, client.start)
         self.sim.run(until=self.config.duration)
         self.metrics.finish(self.sim.now)
+        report = self.check_invariants()
         return ExperimentResult(
             protocol=self.config.protocol,
             num_clusters=self.config.num_clusters,
@@ -503,12 +557,13 @@ class Deployment:
             global_messages=self.metrics.global_messages,
             local_bytes=self.metrics.local_bytes,
             global_bytes=self.metrics.global_bytes,
-            safety_ok=self.check_safety(),
+            safety_ok=report.safety_ok,
             p95_latency_s=self.metrics.p95_latency_s(),
             p99_latency_s=self.metrics.p99_latency_s(),
             submitted_txns=self.metrics.submitted_txns,
             measured_submitted_txns=self.metrics.measured_submitted_txns,
             offered_load_txn_s=self.metrics.offered_load_txn_s(),
+            liveness_ok=report.liveness_ok,
         )
 
     def encoding_cache_delta(self) -> Dict[str, int]:
@@ -524,16 +579,45 @@ class Deployment:
     # ------------------------------------------------------------------
     # Safety auditing (Theorem 2.8)
     # ------------------------------------------------------------------
-    def check_safety(self) -> bool:
-        """Audit non-divergence across all non-crashed replicas.
+    def check_invariants(self, timeline=None) -> InvariantReport:
+        """The reusable safety+liveness audit (run after ``sim.run``).
 
-        For the sequentially ordered protocols the whole ledgers must be
-        prefix-comparable; for HotStuff (unsynchronized parallel
-        instances) each instance's block subsequence must match.
+        ``timeline`` defaults to the chaos timeline installed on this
+        deployment (if any).  Byzantine actors the timeline names are
+        excluded from the honest set before the divergence check, and
+        each fault window that expects recovery must be followed by
+        ledger progress.  The report is also kept on
+        ``deployment.invariants``.
+        """
+        if timeline is None:
+            timeline = self.timeline
+        byzantine = (timeline.byzantine_nodes() if timeline is not None
+                     else frozenset())
+        failures = (list(timeline.liveness_failures(self))
+                    if timeline is not None else [])
+        report = InvariantReport(
+            safety_ok=self.check_safety(exclude=byzantine),
+            liveness_ok=not failures,
+            liveness_failures=tuple(failures),
+            byzantine_excluded=tuple(sorted(byzantine, key=str)),
+        )
+        self.invariants = report
+        return report
+
+    def check_safety(self, exclude=frozenset()) -> bool:
+        """Audit non-divergence across all honest replicas.
+
+        Honest = not crashed and not in ``exclude`` (the Byzantine
+        actors of an installed fault timeline — their ledgers carry no
+        safety obligation).  For the sequentially ordered protocols the
+        whole ledgers must be prefix-comparable; for HotStuff
+        (unsynchronized parallel instances) each instance's block
+        subsequence must match.
         """
         alive = [
             replica for node, replica in self.replicas.items()
             if not self.network.failures.is_crashed(node)
+            and node not in exclude
         ]
         if len(alive) < 2:
             return True
@@ -551,36 +635,19 @@ class Deployment:
 
     @staticmethod
     def _check_hotstuff_safety(alive) -> bool:
-        per_instance: Dict[int, List[List[bytes]]] = {}
+        # HotStuff runs one unsynchronized instance per replica and has
+        # no retransmission, so a replica that missed a decide (e.g.
+        # while partitioned) legitimately carries a *hole* at that
+        # height.  Safety is therefore checked per slot, not per ledger
+        # position: no two honest replicas may record different batches
+        # at the same (instance, height).
+        slots: Dict[tuple, tuple] = {}
         for replica in alive:
-            seqs: Dict[int, List[bytes]] = {}
             for block in replica.ledger:
-                seqs.setdefault(block.cluster_id, []).append(
-                    block.block_hash()
-                )
-            for instance, chain in seqs.items():
-                per_instance.setdefault(instance, []).append(chain)
-        for chains in per_instance.values():
-            longest = max(chains, key=len)
-            for chain in chains:
-                # Block hashes chain through prev_hash, which differs per
-                # replica ordering; compare batch identity instead.
-                if len(chain) > len(longest):
-                    return False
-        # Compare batch digests per instance position.
-        digests: Dict[int, List[List[tuple]]] = {}
-        for replica in alive:
-            seqs2: Dict[int, List[tuple]] = {}
-            for block in replica.ledger:
-                seqs2.setdefault(block.cluster_id, []).append(
-                    tuple(txn.txn_id for txn in block.batch)
-                )
-            for instance, chain in seqs2.items():
-                digests.setdefault(instance, []).append(chain)
-        for chains in digests.values():
-            longest = max(chains, key=len)
-            for chain in chains:
-                if chain != longest[: len(chain)]:
+                key = (block.cluster_id, block.round_id)
+                batch = tuple(txn.txn_id for txn in block.batch)
+                seen = slots.setdefault(key, batch)
+                if seen != batch:
                     return False
         return True
 

@@ -38,8 +38,11 @@ LIFECYCLE = ("proposed", "prepared", "committed", "shared", "ordered",
              "executed")
 
 #: Failure-handling events, exported as instants rather than spans.
+#: ``fault_on``/``fault_off`` are emitted by the chaos engine
+#: (:mod:`repro.net.chaos`) when a scheduled fault (de)activates; they
+#: carry ``cluster = 0``, rendering on a dedicated "chaos" track.
 EVENT_PHASES = ("view_change", "new_view", "drvc", "rvc_sent",
-                "rvc_honored")
+                "rvc_honored", "fault_on", "fault_off")
 
 
 @dataclass(frozen=True)
@@ -331,9 +334,11 @@ class Instrumentation:
         clusters = sorted({c for c, _ in self._marks}
                           | {e.cluster for e in self.events})
         for cluster in clusters:
+            # Cluster ids are 1-based; pid 0 is the chaos engine's track.
+            label = f"cluster {cluster}" if cluster else "chaos"
             trace_events.append({
                 "name": "process_name", "ph": "M", "pid": cluster,
-                "args": {"name": f"cluster {cluster}"},
+                "args": {"name": label},
             })
         for (cluster, round_id), marks in sorted(self._marks.items()):
             present = [(p, marks[p]) for p in LIFECYCLE if p in marks]
@@ -368,15 +373,20 @@ class Instrumentation:
         for event in self.events:
             if event.phase not in EVENT_PHASES:
                 continue
+            args: Dict[str, object] = {"node": str(event.node),
+                                       "round": event.round_id}
+            if event.detail is not None:
+                args["detail"] = str(event.detail)
             trace_events.append({
                 "name": event.phase,
-                "cat": "failure-handling",
+                "cat": ("chaos" if event.phase.startswith("fault_")
+                        else "failure-handling"),
                 "ph": "i",
                 "s": "p",
                 "ts": round(event.time * 1e6, 3),
                 "pid": event.cluster,
                 "tid": 0,
-                "args": {"node": str(event.node), "round": event.round_id},
+                "args": args,
             })
         return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
 

@@ -2,7 +2,8 @@
 
 Commands:
 
-* ``run``      — run one experiment and print its result line.
+* ``run``      — run one experiment and print its result line (or the
+  full result object with ``--json``).
 * ``trace``    — run one instrumented experiment, print phase/latency
   tables, and export Chrome trace_event + JSONL phase traces.
 * ``compare``  — run several protocols on the same deployment and print
@@ -10,7 +11,12 @@ Commands:
 * ``table1``   — print the Table 1 topology matrix the simulator uses.
 * ``table2``   — print the Table 2 analytic complexity comparison.
 
-All output is plain text; every run is deterministic per ``--seed``.
+All experiment commands share the same knobs: ``--scenario`` selects a
+named failure scenario from the open registry (paper scenarios plus
+anything added via :func:`repro.register_scenario`), and ``--faults``
+installs a scheduled :class:`~repro.net.chaos.FaultTimeline` from a
+JSON spec.  All output is plain text; every run is deterministic per
+``--seed``.
 
 Set ``REPRO_PROFILE=1`` to run the command under :mod:`cProfile` and
 print the 20 hottest functions (by internal time) afterwards — the
@@ -30,7 +36,6 @@ from .bench.deployment import (
     PROTOCOLS,
     ExperimentConfig,
     deployment_digest,
-    run_experiment,
 )
 from .bench.reporting import (
     format_cache_report,
@@ -42,7 +47,7 @@ from .bench.reporting import (
     format_table,
     summarize_results,
 )
-from .bench.scenarios import SCENARIOS
+from .bench.scenarios import scenario_names
 from .net.topology import PAPER_REGIONS, Topology
 
 
@@ -61,11 +66,53 @@ def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
                         help="clients per cluster")
     parser.add_argument("--seed", type=int, default=1,
                         help="deterministic experiment seed")
-    parser.add_argument("--scenario", choices=SCENARIOS, default="none",
-                        help="failure scenario to apply")
+    # Registry names, not a closed choices= tuple: scenarios registered
+    # by embedding code (register_scenario) stay selectable, and unknown
+    # names produce the registry's own error listing what exists.
+    parser.add_argument("--scenario", default="none", metavar="NAME",
+                        help="failure scenario to apply; one of "
+                             f"{', '.join(scenario_names())} or any "
+                             "name added via register_scenario()")
+    parser.add_argument("--fail-at", type=float, default=0.0,
+                        help="schedule scenario crashes at this "
+                             "simulated time")
+    parser.add_argument("--faults", default="", metavar="FILE",
+                        help="install a fault timeline from a JSON spec "
+                             "(see docs/fault_injection.md)")
     parser.add_argument("--real-crypto", action="store_true",
                         help="verify real HMAC signatures (slower host "
                              "run, identical simulated results)")
+
+
+def _arrange_faults(deployment, args, quiet: bool = False) -> None:
+    """Apply ``--scenario`` and/or ``--faults`` to a built deployment."""
+    from .bench.scenarios import apply_scenario
+
+    if args.scenario != "none":
+        victims = apply_scenario(deployment, args.scenario,
+                                 fail_at=args.fail_at)
+        if not quiet:
+            if victims:
+                print(f"scenario {args.scenario}: crashing "
+                      f"{', '.join(str(v) for v in victims)}"
+                      + (f" at t={args.fail_at}s" if args.fail_at else ""))
+            else:
+                print(f"scenario {args.scenario}: installed")
+    if args.faults:
+        from .net.chaos import FaultTimeline
+
+        timeline = FaultTimeline.load(args.faults)
+        timeline.install(deployment)
+        if not quiet:
+            print(f"fault timeline {timeline.name!r}: "
+                  f"{len(timeline)} faults scheduled")
+
+
+def _result_ok(deployment, result) -> bool:
+    report = deployment.invariants
+    if report is not None:
+        return report.ok
+    return result.safety_ok and result.liveness_ok
 
 
 def _config_from_args(args, protocol: str,
@@ -109,18 +156,15 @@ def _print_observability(deployment) -> None:
 
 def _cmd_run(args) -> int:
     from .bench.deployment import Deployment
-    from .bench.scenarios import apply_scenario
 
     instrument = bool(args.trace_out or args.trace_jsonl)
     deployment = Deployment(
         _config_from_args(args, args.protocol, instrument=instrument))
-    if args.scenario != "none":
-        victims = apply_scenario(deployment, args.scenario,
-                                 fail_at=args.fail_at)
-        print(f"scenario {args.scenario}: crashing "
-              f"{', '.join(str(v) for v in victims)}"
-              + (f" at t={args.fail_at}s" if args.fail_at else ""))
+    _arrange_faults(deployment, args, quiet=args.json)
     result = deployment.run()
+    if args.json:
+        print(result.to_json())
+        return 0 if _result_ok(deployment, result) else 1
     print(result.describe())
     print(format_latency_percentiles(result))
     print(f"  global: {result.global_messages} msgs / "
@@ -138,18 +182,19 @@ def _cmd_run(args) -> int:
                           window=result.duration)
         print("\nper-link traffic (heaviest first):")
         print(format_link_report(rows))
-    return 0 if result.safety_ok else 1
+    if deployment.invariants is not None and deployment.timeline is not None:
+        print()
+        print(deployment.invariants.describe())
+    return 0 if _result_ok(deployment, result) else 1
 
 
 def _cmd_trace(args) -> int:
     from .bench.deployment import Deployment
-    from .bench.scenarios import apply_scenario
 
     def _run(instrument: bool):
         deployment = Deployment(
             _config_from_args(args, args.protocol, instrument=instrument))
-        if args.scenario != "none":
-            apply_scenario(deployment, args.scenario, fail_at=args.fail_at)
+        _arrange_faults(deployment, args, quiet=instrument is False)
         result = deployment.run()
         return deployment, result
 
@@ -166,8 +211,11 @@ def _cmd_trace(args) -> int:
     print(format_runtime_telemetry(deployment))
     print()
     _export_traces(deployment, args.out, args.jsonl)
+    if deployment.invariants is not None and deployment.timeline is not None:
+        print()
+        print(deployment.invariants.describe())
 
-    ok = result.safety_ok
+    ok = _result_ok(deployment, result)
     if args.assert_determinism:
         digest_on = deployment_digest(deployment, result)
         baseline, baseline_result = _run(instrument=False)
@@ -185,11 +233,19 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_compare(args) -> int:
-    results = []
+    from .bench.deployment import Deployment
+
+    results, ok = [], True
     for protocol in args.protocols:
-        results.append(run_experiment(_config_from_args(args, protocol)))
+        deployment = Deployment(_config_from_args(args, protocol))
+        # A fresh deployment per protocol needs fresh fault objects, so
+        # scenarios/timeline specs are re-resolved for each one.
+        _arrange_faults(deployment, args, quiet=True)
+        result = deployment.run()
+        results.append(result)
+        ok = ok and _result_ok(deployment, result)
     print(summarize_results(results))
-    return 0 if all(r.safety_ok for r in results) else 1
+    return 0 if ok else 1
 
 
 def _cmd_table1(_args) -> int:
@@ -247,9 +303,9 @@ def build_parser() -> argparse.ArgumentParser:
         "run", help="run one experiment")
     run_parser.add_argument("--protocol", "-p", choices=PROTOCOLS,
                             default="geobft")
-    run_parser.add_argument("--fail-at", type=float, default=0.0,
-                            help="schedule scenario crashes at this "
-                                 "simulated time")
+    run_parser.add_argument("--json", action="store_true",
+                            help="print the result as a JSON object "
+                                 "instead of the human-readable report")
     run_parser.add_argument("--traffic", action="store_true",
                             help="print per-region-link traffic report")
     run_parser.add_argument("--trace-out", default="",
@@ -265,9 +321,6 @@ def build_parser() -> argparse.ArgumentParser:
                       "consensus-phase traces")
     trace_parser.add_argument("--protocol", "-p", choices=PROTOCOLS,
                               default="geobft")
-    trace_parser.add_argument("--fail-at", type=float, default=0.0,
-                              help="schedule scenario crashes at this "
-                                   "simulated time")
     trace_parser.add_argument("--out", default="trace.json",
                               help="Chrome trace_event output path")
     trace_parser.add_argument("--jsonl", default="",
@@ -318,11 +371,17 @@ def _run_profiled(handler, args) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    from .errors import ConfigurationError
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    if os.environ.get("REPRO_PROFILE") == "1":
-        return _run_profiled(args.handler, args)
-    return args.handler(args)
+    try:
+        if os.environ.get("REPRO_PROFILE") == "1":
+            return _run_profiled(args.handler, args)
+        return args.handler(args)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

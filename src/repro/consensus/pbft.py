@@ -795,10 +795,28 @@ class PbftEngine:
         for view in [v for v in self._view_changes if v <= self._view]:
             del self._view_changes[view]
         # Reset undecided slots; re-proposals below repopulate them.
+        # Client batches assigned to an abandoned slot are recovered
+        # into the pending set first — their batch_ids are already in
+        # _seen_batch_ids, so dropping them here would make every later
+        # client retransmission a dedup no-op and lose the request for
+        # good (an equivocating primary could censor forever).
         for seq in [s for s in self._slots if not self._slots[s].decided]:
-            del self._slots[seq]
-        self._next_seq = max(self._next_seq,
-                             self._stable_seq + 1)
+            slot = self._slots.pop(seq)
+            preprepare = slot.preprepare
+            if (preprepare is not None
+                    and preprepare.request.signature is not None
+                    and preprepare.request.batch_id
+                    not in self._pending_requests):
+                self._awaiting_order.add(preprepare.request.batch_id)
+                self._pending_requests[preprepare.request.batch_id] = (
+                    preprepare.request)
+        # Abandoned sequence numbers are *reused* (standard PBFT): the
+        # new view restarts assignment just past the highest stable or
+        # decided slot, and the re-proposals below advance it further.
+        # Keeping the old high-water mark would leave permanent holes
+        # below it that in-order execution can never cross.
+        self._next_seq = max(self._stable_seq,
+                             max(self._slots, default=0)) + 1
         for preprepare in msg.preprepares:
             # _on_preprepare handles already-decided slots by
             # re-announcing the commit, helping laggards catch up.

@@ -1,20 +1,49 @@
 """Geo-scale network substrate: simulator, topology, links, failures.
 
 This package is the stand-in for the paper's Google Cloud deployment.
-See ``DESIGN.md`` §2 for the substitution argument.
+See ``DESIGN.md`` §2 for the substitution argument.  Scheduled fault
+injection (the chaos engine) lives in :mod:`repro.net.chaos`.
 """
 
+from .chaos import (
+    ChaosContext,
+    CrashFault,
+    EquivocateFault,
+    FAULT_KINDS,
+    Fault,
+    FaultTimeline,
+    LinkDelayFault,
+    MessageLossFault,
+    OmissionFault,
+    PartitionFault,
+    TamperFault,
+    fault_from_dict,
+    tamper_message,
+)
 from .failures import FailureModel
 from .network import Network
 from .simulator import Simulation, Timer
 from .topology import PAPER_REGIONS, LinkSpec, Topology
 
 __all__ = [
+    "ChaosContext",
+    "CrashFault",
+    "EquivocateFault",
+    "FAULT_KINDS",
+    "Fault",
+    "FaultTimeline",
     "FailureModel",
-    "Network",
-    "Simulation",
-    "Timer",
-    "PAPER_REGIONS",
+    "LinkDelayFault",
     "LinkSpec",
+    "MessageLossFault",
+    "Network",
+    "OmissionFault",
+    "PAPER_REGIONS",
+    "PartitionFault",
+    "Simulation",
+    "TamperFault",
+    "Timer",
     "Topology",
+    "fault_from_dict",
+    "tamper_message",
 ]

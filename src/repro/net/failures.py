@@ -13,9 +13,20 @@ messages (Example 2.4).  This module centralizes all of that:
 * **Receive rules** — predicates drop messages at the receiver,
   modelling case (2) of Example 2.4 (a Byzantine receiver pretending it
   got nothing).
+* **Drop rules** — predicates lose a message *in flight* after the
+  sender paid full transmit time (lossy links, partition bursts).
+* **Delay rules** — callables adding extra one-way latency to matching
+  sends (degraded links, jitter injection).
+* **Transform rules** — callables that may replace a message with a
+  tampered copy at the sender, modelling Byzantine equivocation and
+  payload tampering; honest receivers must reject the result through
+  their digest/signature verification paths.
 
 Rules are kept outside protocol code so a test or benchmark configures a
-scenario purely through the :class:`FailureModel`.
+scenario purely through the :class:`FailureModel`.  The scheduled-fault
+layer on top of this module lives in :mod:`repro.net.chaos`: a
+:class:`~repro.net.chaos.FaultTimeline` turns declarative, introspectable
+``Fault`` objects into rule (de)installations on the simulator clock.
 """
 
 from __future__ import annotations
@@ -27,6 +38,13 @@ from ..types import NodeId
 #: Predicate over (src, dst, message) deciding whether to drop.
 DropRule = Callable[[NodeId, NodeId, object], bool]
 
+#: Extra one-way delay (seconds) to add to a matching send.
+DelayRule = Callable[[NodeId, NodeId, object], float]
+
+#: Returns a replacement message (tampered copy), the original (no-op),
+#: or ``None`` to swallow the send entirely.
+TransformRule = Callable[[NodeId, NodeId, object], object]
+
 
 class FailureModel:
     """Mutable failure state consulted by :class:`repro.net.network.Network`."""
@@ -36,6 +54,9 @@ class FailureModel:
         self._severed: Set[tuple[NodeId, NodeId]] = set()
         self._send_rules: list[DropRule] = []
         self._receive_rules: list[DropRule] = []
+        self._drop_rules: list[DropRule] = []
+        self._delay_rules: list[DelayRule] = []
+        self._transform_rules: list[TransformRule] = []
 
     # ------------------------------------------------------------------
     # Crash faults
@@ -99,6 +120,49 @@ class FailureModel:
             self._receive_rules.remove(rule)
 
     # ------------------------------------------------------------------
+    # Link-quality and Byzantine-tampering rules (chaos engine)
+    # ------------------------------------------------------------------
+    def add_drop_rule(self, rule: DropRule) -> DropRule:
+        """Lose matching messages in flight (full transmit time paid)."""
+        self._drop_rules.append(rule)
+        return rule
+
+    def remove_drop_rule(self, rule: DropRule) -> None:
+        """Remove a previously added in-flight drop rule (idempotent)."""
+        if rule in self._drop_rules:
+            self._drop_rules.remove(rule)
+
+    def add_delay_rule(self, rule: DelayRule) -> DelayRule:
+        """Add extra one-way latency to matching sends."""
+        self._delay_rules.append(rule)
+        return rule
+
+    def remove_delay_rule(self, rule: DelayRule) -> None:
+        """Remove a previously added delay rule (idempotent)."""
+        if rule in self._delay_rules:
+            self._delay_rules.remove(rule)
+
+    def add_transform_rule(self, rule: TransformRule) -> TransformRule:
+        """Let ``rule`` replace matching outbound messages (tampering)."""
+        self._transform_rules.append(rule)
+        return rule
+
+    def remove_transform_rule(self, rule: TransformRule) -> None:
+        """Remove a previously added transform rule (idempotent)."""
+        if rule in self._transform_rules:
+            self._transform_rules.remove(rule)
+
+    @property
+    def has_delay_rules(self) -> bool:
+        """Fast guard for the network hot path."""
+        return bool(self._delay_rules)
+
+    @property
+    def has_transform_rules(self) -> bool:
+        """Fast guard for the network hot path."""
+        return bool(self._transform_rules)
+
+    # ------------------------------------------------------------------
     # Queries used by the network
     # ------------------------------------------------------------------
     def suppresses_send(self, src: NodeId, dst: NodeId, message) -> bool:
@@ -107,9 +171,26 @@ class FailureModel:
             return True
         return any(rule(src, dst, message) for rule in self._send_rules)
 
+    def transform(self, src: NodeId, dst: NodeId, message):
+        """Apply transform rules in order; ``None`` swallows the send."""
+        for rule in self._transform_rules:
+            message = rule(src, dst, message)
+            if message is None:
+                return None
+        return message
+
+    def extra_delay(self, src: NodeId, dst: NodeId, message) -> float:
+        """Sum of extra one-way latency from all delay rules."""
+        total = 0.0
+        for rule in self._delay_rules:
+            total += rule(src, dst, message)
+        return total
+
     def drops_in_flight(self, src: NodeId, dst: NodeId, message) -> bool:
         """Whether the network loses the message after transmission."""
-        return (src, dst) in self._severed
+        if (src, dst) in self._severed:
+            return True
+        return any(rule(src, dst, message) for rule in self._drop_rules)
 
     def drops_at_receiver(self, src: NodeId, dst: NodeId, message) -> bool:
         """Whether the receiver never sees the delivery."""

@@ -91,6 +91,8 @@ class Network:
         self._suppressed_sends = 0
         self._in_flight_drops = 0
         self._receiver_drops = 0
+        self._tampered_sends = 0
+        self._delayed_sends = 0
 
     @property
     def topology(self) -> Topology:
@@ -152,6 +154,16 @@ class Network:
         if self._failures.suppresses_send(src, dst, message):
             self._suppressed_sends += 1
             return
+        if self._failures.has_transform_rules:
+            # Byzantine tampering: the sender transmits a corrupted copy
+            # (honest receivers reject it in their verify paths).
+            transformed = self._failures.transform(src, dst, message)
+            if transformed is None:
+                self._suppressed_sends += 1
+                return
+            if transformed is not message:
+                self._tampered_sends += 1
+                message = transformed
         size = _message_size(message)
         link = self._topology.link(sender.region, receiver.region)
         transmit = size / link.bandwidth_bytes_per_s
@@ -164,6 +176,11 @@ class Network:
         start = max(self._sim.now, self._uplink_free_at.get(key, 0.0))
         self._uplink_free_at[key] = start + transmit
         arrival_delay = (start - self._sim.now) + transmit + link.latency_s
+        if self._failures.has_delay_rules:
+            extra = self._failures.extra_delay(src, dst, message)
+            if extra > 0.0:
+                self._delayed_sends += 1
+                arrival_delay += extra
         is_local = sender.region == receiver.region
         self._sends += 1
         for observer in self._observers:
@@ -200,6 +217,8 @@ class Network:
             "suppressed_sends": self._suppressed_sends,
             "in_flight_drops": self._in_flight_drops,
             "receiver_drops": self._receiver_drops,
+            "tampered_sends": self._tampered_sends,
+            "delayed_sends": self._delayed_sends,
         }
 
     def uplink_backlog(self, src: NodeId, dst_region: str) -> float:

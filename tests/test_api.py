@@ -1,0 +1,89 @@
+"""Tests for the stable public API surface (`repro.api`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro
+import repro.api
+
+
+class TestSurface:
+    def test_api_all_resolves(self):
+        for name in repro.api.__all__:
+            assert getattr(repro.api, name, None) is not None, name
+
+    def test_package_reexports_stable_api(self):
+        for name in repro.api.__all__:
+            assert name in repro.__all__, name
+            assert getattr(repro, name) is getattr(repro.api, name), name
+
+    def test_package_all_resolves(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_core_entry_points_present(self):
+        for name in ("ExperimentConfig", "run_experiment",
+                     "ExperimentResult", "FaultTimeline",
+                     "apply_scenario", "deployment_digest"):
+            assert name in repro.api.__all__
+
+
+class TestResultSerialization:
+    def _result(self):
+        return repro.ExperimentResult(
+            protocol="geobft", num_clusters=2, replicas_per_cluster=4,
+            batch_size=5, throughput_txn_s=100.0, avg_latency_s=0.05,
+            p50_latency_s=0.04, completed_txns=500, duration=5.0,
+            local_messages=10, global_messages=4, local_bytes=1000,
+            global_bytes=400, safety_ok=True,
+        )
+
+    def test_to_dict_round_trip(self):
+        result = self._result()
+        data = result.to_dict()
+        assert data["protocol"] == "geobft"
+        assert data["liveness_ok"] is True
+        assert repro.ExperimentResult(**data) == result
+
+    def test_to_json_is_stable(self):
+        result = self._result()
+        data = json.loads(result.to_json())
+        assert data == result.to_dict()
+        # sorted keys, so the JSON form itself is deterministic
+        assert result.to_json() == result.to_json()
+        assert list(data) == sorted(data)
+
+    def test_describe_flags_stalled_liveness(self):
+        import dataclasses
+
+        stalled = dataclasses.replace(self._result(), liveness_ok=False)
+        assert "liveness=STALLED" in stalled.describe()
+        assert "liveness=STALLED" not in self._result().describe()
+
+
+class TestEndToEnd:
+    def test_run_experiment_via_public_api(self):
+        result = repro.run_experiment(repro.ExperimentConfig(
+            protocol="geobft", num_clusters=2, replicas_per_cluster=4,
+            batch_size=5, clients_per_cluster=1, duration=1.5,
+            warmup=0.3, record_count=100, fast_crypto=True,
+        ))
+        assert result.safety_ok and result.liveness_ok
+        assert result.completed_txns > 0
+
+    def test_invariant_report_without_timeline(self):
+        deployment = repro.Deployment(repro.ExperimentConfig(
+            protocol="pbft", num_clusters=2, replicas_per_cluster=4,
+            batch_size=5, clients_per_cluster=1, duration=1.5,
+            warmup=0.3, record_count=100, fast_crypto=True,
+        ))
+        deployment.run()
+        report = deployment.invariants
+        assert report is not None
+        assert report.ok
+        assert report.liveness_failures == ()
+        assert report.byzantine_excluded == ()
+        assert "safety" in report.describe()

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -129,3 +131,68 @@ class TestTrafficFlag:
         out = capsys.readouterr().out
         assert "per-link traffic" in out
         assert "oregon" in out
+
+
+class TestChaosFlags:
+    def _timeline_file(self, tmp_path):
+        path = tmp_path / "faults.json"
+        path.write_text(json.dumps({
+            "name": "cli-test",
+            "faults": [
+                {"kind": "crash", "targets": "backup:1", "at": 0.5},
+            ],
+        }))
+        return str(path)
+
+    def test_shared_args_on_every_experiment_command(self):
+        for command in ("run", "trace", "compare"):
+            args = build_parser().parse_args([command])
+            assert args.scenario == "none"
+            assert args.faults == ""
+            assert args.fail_at == 0.0
+
+    def test_run_with_faults_file(self, capsys, tmp_path):
+        code = main([
+            "run", "-p", "geobft", "-z", "2", "-n", "4", "-b", "5",
+            "-d", "2.0", "-w", "0.3", "--clients", "1",
+            "--faults", self._timeline_file(tmp_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault timeline 'cli-test'" in out
+        assert "safety:   ok" in out
+
+    def test_run_json_output(self, capsys):
+        code = main([
+            "run", "-p", "pbft", "-z", "2", "-n", "4", "-b", "5",
+            "-d", "1.5", "-w", "0.3", "--clients", "1", "--json",
+        ])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["protocol"] == "pbft"
+        assert data["safety_ok"] is True and data["liveness_ok"] is True
+
+    def test_unknown_scenario_clean_error(self, capsys):
+        code = main([
+            "run", "-d", "1.0", "-w", "0.3", "--scenario", "meteor",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario" in err
+
+    def test_missing_faults_file_clean_error(self, capsys):
+        code = main([
+            "run", "-d", "1.0", "-w", "0.3", "--faults", "/nope.json",
+        ])
+        assert code == 2
+        assert "cannot read fault timeline" in capsys.readouterr().err
+
+    def test_compare_with_faults(self, capsys, tmp_path):
+        code = main([
+            "compare", "--protocols", "geobft,pbft", "-z", "2",
+            "-n", "4", "-b", "5", "-d", "1.5", "-w", "0.3",
+            "--clients", "1", "--faults", self._timeline_file(tmp_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "geobft" in out and "pbft" in out

@@ -57,3 +57,10 @@ class TestExamples:
         out = run_example("throughput_anatomy.py")
         assert "busiest WAN sender region : oregon" in out
         assert "fewer WAN" in out
+
+    def test_chaos_timelines(self):
+        out = run_example("chaos_timelines.py")
+        assert "wan-partition            off" in out
+        assert "safety:   ok" in out
+        assert "liveness: ok" in out
+        assert "excluded from the honest set: r2.1" in out
