@@ -1,0 +1,261 @@
+"""Scaling benchmark: host wall-time of paper-scale GeoBFT deployments.
+
+The paper's headline figures run 60–91 replicas across six regions;
+this benchmark tracks how fast the *simulation engine* reproduces such
+deployments on the host.  It sweeps total replica counts
+n ∈ {16, 32, 64, 91} (GeoBFT, saturated clients, batch 100) and writes
+``BENCH_scale.json`` — the repo's perf trajectory file.  The committed
+copy is the baseline the CI ``perf-smoke`` job compares against.
+
+Three guards per point:
+
+* **wall-time budget** (``--budget-s``): the point must finish within
+  an absolute host budget — catches catastrophic regressions even with
+  no baseline available.
+* **calibrated rate regression** (``--baseline``): events/s is
+  normalized by a host-calibration loop (pure-Python ops/s measured in
+  the same process), so the comparison is meaningful across machines
+  of different speeds.  A calibrated rate below ``1 - tolerance`` of
+  the baseline fails the run.
+* **digest equality**: the ``deployment_digest`` of every point is a
+  pure function of the configuration, so it must match the baseline
+  *exactly* on any host — a free cross-machine determinism check.
+
+Usage::
+
+    python benchmarks/bench_scale.py                    # full sweep
+    python benchmarks/bench_scale.py --points 16 \\
+        --baseline BENCH_scale.json --budget-s 120      # CI smoke
+    REPRO_PROFILE=1 python benchmarks/bench_scale.py --points 16
+
+Run with ``--update`` to rewrite the committed baseline after an
+intentional perf change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import List, Optional
+
+try:
+    from repro.bench.deployment import (Deployment, ExperimentConfig,
+                                        deployment_digest)
+except ImportError:  # running from a source checkout without install
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+    from repro.bench.deployment import (Deployment, ExperimentConfig,
+                                        deployment_digest)
+
+SCHEMA = "bench-scale/1"
+DEFAULT_POINTS = (16, 32, 64, 91)
+DEFAULT_OUTPUT = os.path.join(os.path.dirname(__file__), "..",
+                              "BENCH_scale.json")
+REGRESSION_TOLERANCE = 0.30
+
+#: Simulated seconds per point: long enough that queue depths and vote
+#: traffic reach steady state, short enough that the n=91 point stays
+#: tractable on a laptop-class host.
+SIM_DURATION = 1.2
+SIM_WARMUP = 0.3
+
+
+def scale_config(total: int, seed: int = 2,
+                 protocol: str = "geobft") -> ExperimentConfig:
+    """Deployment config for ``total`` replicas.
+
+    n=91 reproduces the paper's six-region spread (16+15×5); the
+    smaller points use four equal clusters so f ≥ 1 per cluster holds
+    down to n=16.
+    """
+    if total == 91:
+        z, sizes = 6, [16, 15, 15, 15, 15, 15]
+    else:
+        z, sizes = 4, [total // 4] * 4
+    return ExperimentConfig(
+        protocol=protocol,
+        num_clusters=z,
+        replicas_per_cluster=sizes[0],
+        cluster_sizes=sizes,
+        batch_size=100,
+        duration=SIM_DURATION,
+        warmup=SIM_WARMUP,
+        seed=seed,
+        record_count=10_000,
+        fast_crypto=True,
+    )
+
+
+def calibrate_host(rounds: int = 400_000) -> float:
+    """Pure-Python ops/s of this host — dict/tuple/arith mix.
+
+    The simulator's hot loop is interpreter-bound, so a small
+    interpreter-bound loop is the right normalizer for cross-machine
+    rate comparisons (C-extension speed, e.g. hashlib, matters far
+    less).
+    """
+    best = float("inf")
+    for _ in range(3):
+        d = {}
+        acc = 0
+        t0 = time.perf_counter()
+        for i in range(rounds):
+            d[i & 1023] = (i, acc)
+            acc += i * 3 // 2
+            if acc > 1 << 40:
+                acc &= (1 << 30) - 1
+        elapsed = time.perf_counter() - t0
+        if elapsed < best:
+            best = elapsed
+    return rounds / best
+
+
+def run_point(total: int, repeats: int = 1, profile: bool = False) -> dict:
+    """Best-of-``repeats`` wall time for one sweep point."""
+    best_wall = float("inf")
+    record = None
+    for _ in range(max(1, repeats)):
+        config = scale_config(total)
+        deployment = Deployment(config)
+        profiler = None
+        if profile:
+            import cProfile
+            profiler = cProfile.Profile()
+            profiler.enable()
+        t0 = time.perf_counter()
+        result = deployment.run()
+        wall = time.perf_counter() - t0
+        if profiler is not None:
+            profiler.disable()
+            import pstats
+            print(f"\nREPRO_PROFILE=1 — n={total} top 20 by internal time:")
+            stats = pstats.Stats(profiler, stream=sys.stdout)
+            stats.strip_dirs().sort_stats("tottime").print_stats(20)
+            profile = False  # profile only the first repeat
+        if wall < best_wall:
+            best_wall = wall
+            events = deployment.sim.events_processed
+            record = {
+                "n": total,
+                "protocol": config.protocol,
+                "wall_s": round(wall, 3),
+                "events": events,
+                "events_per_s": round(events / wall),
+                "throughput_txn_s": round(result.throughput_txn_s),
+                "avg_latency_s": round(result.avg_latency_s, 6),
+                "max_queue_depth": deployment.sim.max_queue_depth,
+                "digest": deployment_digest(deployment, result),
+            }
+    return record
+
+
+def compare_to_baseline(points: List[dict], calibration: float,
+                        baseline: dict,
+                        tolerance: float = REGRESSION_TOLERANCE,
+                        ) -> List[str]:
+    """Return a list of failure strings (empty == pass)."""
+    failures: List[str] = []
+    base_cal = baseline.get("host", {}).get("calibration_ops_per_s")
+    base_points = {p["n"]: p for p in baseline.get("points", [])}
+    for point in points:
+        base = base_points.get(point["n"])
+        if base is None:
+            continue
+        if base["digest"] != point["digest"]:
+            failures.append(
+                f"n={point['n']}: deployment_digest mismatch vs baseline "
+                f"({point['digest'][:12]}… != {base['digest'][:12]}…) — "
+                "simulated behaviour changed")
+        if not base_cal or not calibration:
+            continue
+        # events per calibration-op: host-speed-normalized engine rate.
+        current_rate = point["events_per_s"] / calibration
+        base_rate = base["events_per_s"] / base_cal
+        if current_rate < base_rate * (1.0 - tolerance):
+            failures.append(
+                f"n={point['n']}: calibrated event rate regressed "
+                f"{(1.0 - current_rate / base_rate) * 100:.0f}% "
+                f"(>{tolerance * 100:.0f}% tolerance): "
+                f"{current_rate:.2f} vs baseline {base_rate:.2f} "
+                "events per calibration-op")
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--points", default=None,
+                        help="comma-separated n values "
+                             f"(default {','.join(map(str, DEFAULT_POINTS))})")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="wall-time repeats per point (best-of)")
+    parser.add_argument("--output", default=None,
+                        help="write results JSON here "
+                             "(default: repo-root BENCH_scale.json when "
+                             "running the full sweep; otherwise not written)")
+    parser.add_argument("--baseline", default=None,
+                        help="compare against this committed BENCH_scale.json"
+                             " and fail on >30%% calibrated regression or "
+                             "any digest mismatch")
+    parser.add_argument("--budget-s", type=float, default=None,
+                        help="absolute wall-time budget per point (seconds)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the default baseline file")
+    args = parser.parse_args(argv)
+
+    points_arg = (tuple(int(x) for x in args.points.split(","))
+                  if args.points else DEFAULT_POINTS)
+    profile = os.environ.get("REPRO_PROFILE") == "1"
+
+    calibration = calibrate_host()
+    print(f"host calibration: {calibration:,.0f} pure-Python ops/s")
+
+    results: List[dict] = []
+    over_budget: List[str] = []
+    for total in points_arg:
+        point = run_point(total, repeats=args.repeats, profile=profile)
+        profile = False  # profile only the first point
+        results.append(point)
+        print(json.dumps(point))
+        if args.budget_s is not None and point["wall_s"] > args.budget_s:
+            over_budget.append(
+                f"n={total}: wall {point['wall_s']:.1f}s exceeds "
+                f"budget {args.budget_s:.1f}s")
+
+    payload = {
+        "schema": SCHEMA,
+        "benchmark": "scale sweep (geobft, saturated, batch=100, "
+                     f"duration={SIM_DURATION}s)",
+        "host": {
+            "calibration_ops_per_s": round(calibration),
+            "python": ".".join(map(str, sys.version_info[:3])),
+        },
+        "points": results,
+    }
+
+    failures = list(over_budget)
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        failures += compare_to_baseline(results, calibration, baseline)
+
+    output = args.output
+    if output is None and (args.update or points_arg == DEFAULT_POINTS):
+        output = DEFAULT_OUTPUT
+    if output:
+        with open(output, "w") as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {os.path.relpath(output)}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("scale benchmark: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -257,7 +257,8 @@ class Deployment:
         self.sim = Simulation(seed=config.seed)
         self.metrics = Metrics(warmup=config.warmup)
         self.network = Network(self.sim, self.topology)
-        self.network.add_observer(self.metrics.network_observer)
+        self.network.add_observer(self.metrics.network_observer,
+                                  self.metrics.network_observer_group)
         # Observability hub, or None (the zero-cost default): replicas
         # emit phase events into it; it only ever reads sim.now.
         self.instrumentation: Optional[Instrumentation] = (

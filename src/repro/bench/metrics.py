@@ -109,6 +109,28 @@ class Metrics:
             if src_region is not None and dst_region is not None:
                 self._pair_bytes[(src_region, dst_region)] += size
 
+    def network_observer_group(self, src: NodeId, dsts, message,
+                               size: int, is_local: bool) -> None:
+        """Batched variant of :meth:`network_observer` for multicast
+        destination groups — identical totals, one call per group."""
+        kind = type(message).__name__
+        n = len(dsts)
+        if is_local:
+            self._local_msgs[kind] += n
+            self._local_bytes += size * n
+        else:
+            self._global_msgs[kind] += n
+            self._global_bytes += size * n
+        region_of = self._region_of
+        if region_of:
+            src_region = region_of.get(src)
+            if src_region is not None:
+                pair_bytes = self._pair_bytes
+                for dst in dsts:
+                    dst_region = region_of.get(dst)
+                    if dst_region is not None:
+                        pair_bytes[(src_region, dst_region)] += size
+
     def pair_bytes(self) -> Dict[Tuple[str, str], int]:
         """Bytes sent per (source region, destination region)."""
         return dict(self._pair_bytes)

@@ -39,6 +39,7 @@ from .messages import (
     HsProposal,
     HsQuorumCert,
     HsVote,
+    adopt_encoding,
 )
 from .replica import BaseReplica
 
@@ -82,6 +83,9 @@ class HotStuffReplica(BaseReplica):
         self._quorum = self._n - self._f
         self._pipeline_depth = pipeline_depth
         self._instance = self._members.index(node_id)
+        # Every vote carries exactly one signature (see
+        # verification_cost); let deliver() skip the call.
+        self._const_verify_costs[HsVote] = self.costs.verify
 
         # Leader-side state for the instance this replica leads.
         self._queue: List[ClientRequestBatch] = []
@@ -185,18 +189,32 @@ class HotStuffReplica(BaseReplica):
             return
         if vote.phase not in PHASES or vote.phase == "decide":
             return
-        if vote.signature is None or not self.registry.verify(
-            HsVote(vote.phase, vote.instance, vote.height, vote.digest,
-                   vote.replica, None),
-            vote.signature,
-        ):
+        if vote.signature is None:
             return
-        state = self._state(vote.instance, vote.height)
-        if state.digest is not None and vote.digest != state.digest:
+        # Late votes for an already-formed QC are discarded either way;
+        # peeking at the state first skips their signature checks.  The
+        # peek never *creates* state — a bad-signature vote must not
+        # leave a height entry behind, exactly as before.
+        state = self._states.get((vote.instance, vote.height))
+        if state is not None:
+            if vote.phase in state.qcs:
+                return
+            if state.digest is not None and vote.digest != state.digest:
+                return
+        # HsVote.payload() excludes the signature, so verifying against
+        # the signed object is the same statement as the unsigned
+        # reconstruction — and it reuses the vote's cached encoding.
+        if not self.registry.verify(vote, vote.signature):
             return
-        votes = state.votes.setdefault(vote.phase, {})
+        if state is None:
+            state = self._state(vote.instance, vote.height)
+            if state.digest is not None and vote.digest != state.digest:
+                return
+        votes = state.votes.get(vote.phase)
+        if votes is None:
+            votes = state.votes[vote.phase] = {}
         votes[sender] = vote
-        if len(votes) < self._quorum or vote.phase in state.qcs:
+        if len(votes) < self._quorum:
             return
         # Assemble the (linear-size) QC and advance to the next phase.
         qc = HsQuorumCert(
@@ -265,6 +283,7 @@ class HotStuffReplica(BaseReplica):
                       proposal.digest, self.node_id, None)
         signed = HsVote(vote.phase, vote.instance, vote.height, vote.digest,
                         vote.replica, self.sign(vote))
+        adopt_encoding(signed, vote)
         leader = self._members[proposal.instance]
         if leader == self.node_id:
             self._on_vote(signed, self.node_id)
@@ -286,6 +305,14 @@ class HotStuffReplica(BaseReplica):
         }.get(proposal.phase)
         if qc.phase != expected_phase or len(qc.signatures) < self._quorum:
             return False
+        # The leader broadcasts one QC object to every replica; the
+        # signature scan below depends only on the QC's contents and the
+        # PKI, so the distinct-valid-signer count from the first full
+        # scan is memoized on the instance and reused by every later
+        # receiver.  Failed scans (Byzantine leaders) are not memoized.
+        verified = getattr(qc, "_sig_quorum", -1)
+        if verified >= 0:
+            return verified >= self._quorum
         signers = set()
         for signature in qc.signatures:
             vote_payload = HsVote(qc.phase, qc.instance, qc.height,
@@ -293,6 +320,7 @@ class HotStuffReplica(BaseReplica):
             if not self.registry.verify(vote_payload, signature):
                 return False
             signers.add(signature.signer)
+        object.__setattr__(qc, "_sig_quorum", len(signers))
         return len(signers) >= self._quorum
 
     def _on_decide(self, proposal: HsProposal, state: _HeightState) -> None:

@@ -68,6 +68,8 @@ class ClientRequestBatch(CachedEncodable):
     ``batch_id`` is globally unique (client id + client-local counter).
     """
 
+    __slots__ = ("batch_id", "client", "batch", "signature")
+
     batch_id: str
     client: NodeId
     batch: Batch
@@ -86,12 +88,15 @@ class ClientRequestBatch(CachedEncodable):
 
     def digest(self) -> bytes:
         """Digest of the carried transaction batch (cached: the batch is
-        immutable and the digest is recomputed at every protocol hop)."""
-        cached = self.__dict__.get("_digest_cache")
-        if cached is None:
+        immutable and the digest is recomputed at every protocol hop).
+        The cache rides in a slot declared on :class:`CachedEncodable`,
+        so it works whether or not the subclass has a ``__dict__``."""
+        try:
+            return self._digest_cache
+        except AttributeError:
             cached = batch_digest(self.batch)
             object.__setattr__(self, "_digest_cache", cached)
-        return cached
+            return cached
 
     def size_bytes(self) -> int:
         return request_size_bytes(len(self.batch))
@@ -104,6 +109,9 @@ class ClientReply(CachedEncodable):
     Clients accept a result once ``f + 1`` replicas sent replies with
     matching ``results_digest``.
     """
+
+    __slots__ = ("batch_id", "replica", "cluster_id", "round_id",
+                 "results_digest", "batch_len")
 
     batch_id: str
     replica: NodeId
@@ -133,6 +141,8 @@ class ClientReply(CachedEncodable):
 class PrePrepare(CachedEncodable):
     """Primary's proposal of a request for (view, seq)."""
 
+    __slots__ = ("cluster_id", "view", "seq", "digest", "request")
+
     cluster_id: ClusterId
     view: ViewId
     seq: SeqNum
@@ -155,6 +165,8 @@ class PrePrepare(CachedEncodable):
 @dataclass(frozen=True)
 class Prepare(CachedEncodable):
     """Backup's first-phase agreement message (MAC-authenticated)."""
+
+    __slots__ = ("cluster_id", "view", "seq", "digest", "replica")
 
     cluster_id: ClusterId
     view: ViewId
@@ -180,6 +192,9 @@ class Prepare(CachedEncodable):
 class Commit(CachedEncodable):
     """Second-phase commit message — *signed*, because ``n - f`` of these
     form the forwarded commit certificate (§2.2)."""
+
+    __slots__ = ("cluster_id", "view", "seq", "digest", "replica",
+                 "signature")
 
     cluster_id: ClusterId
     view: ViewId
@@ -207,6 +222,9 @@ class CommitCertificate(CachedEncodable):
     """Proof of local replication: the request plus ``n - f`` signed,
     identical commit messages from distinct replicas — ``[<T>_c, rho]_C``
     in the paper."""
+
+    __slots__ = ("cluster_id", "round_id", "view", "request",
+                 "commits", "_verified_quorum")
 
     cluster_id: ClusterId
     round_id: RoundId
@@ -249,7 +267,20 @@ class CommitCertificate(CachedEncodable):
         ``members`` overrides the signer-membership check for groups
         whose members' node ids do not carry the group id (the flat
         PBFT baseline spans regions under one synthetic group id).
+
+        Successful verification is memoized on the instance: the
+        simulator hands the *same* certificate object to every replica
+        that receives it (directly or in a forwarded share), and the
+        outcome is a pure function of the certificate's contents and
+        the deployment PKI, so one full scan serves all later receivers
+        asking for the same or a smaller quorum.  Failures are never
+        memoized, and the ``members``-override path (cold) always
+        re-scans.
         """
+        if members is None:
+            verified = getattr(self, "_verified_quorum", 0)
+            if verified >= quorum:
+                return
         if len(self.commits) < quorum:
             raise InvalidCertificateError(
                 f"certificate has {len(self.commits)} commits, needs {quorum}"
@@ -280,12 +311,37 @@ class CommitCertificate(CachedEncodable):
             raise InvalidCertificateError(
                 f"only {len(signers)} distinct signers, needs {quorum}"
             )
+        if members is None:
+            object.__setattr__(self, "_verified_quorum", len(signers))
+
+
+def adopt_encoding(signed, template):
+    """Carry a template's cached canonical encoding onto its signed copy.
+
+    The sign-then-rebuild pattern (``m = T(..., None)`` then
+    ``T(..., sign(m))``) produces two instances whose ``payload()`` is
+    identical whenever the type's payload excludes the signature field
+    (Commit, Checkpoint, HsVote, SpecResponse...).  Signing already
+    encoded the template, so the signed copy can reuse those bytes
+    instead of re-walking the payload at its first MAC/verify.  Only
+    call this for types whose ``payload()`` ignores ``signature``.
+    """
+    for name in ("_encoded_cache", "_payload_digest_cache"):
+        try:
+            value = getattr(template, name)
+        except AttributeError:
+            continue
+        object.__setattr__(signed, name, value)
+    return signed
 
 
 @dataclass(frozen=True)
 class Checkpoint(CachedEncodable):
     """Periodic signed state attestation used for garbage collection and
     recovery (§2.2, §4.3)."""
+
+    __slots__ = ("cluster_id", "seq", "state_digest", "replica",
+                 "signature")
 
     cluster_id: ClusterId
     seq: SeqNum
@@ -457,6 +513,8 @@ class Rvc(CachedEncodable):
 class OrderedRequest(CachedEncodable):
     """Zyzzyva primary's ordered forward of a client request."""
 
+    __slots__ = ("view", "seq", "history_digest", "request")
+
     view: ViewId
     seq: SeqNum
     history_digest: bytes
@@ -472,6 +530,9 @@ class OrderedRequest(CachedEncodable):
 @dataclass(frozen=True)
 class SpecResponse(CachedEncodable):
     """Replica's signed speculative response, sent straight to the client."""
+
+    __slots__ = ("view", "seq", "batch_id", "history_digest",
+                 "results_digest", "replica", "signature", "batch_len")
 
     view: ViewId
     seq: SeqNum
@@ -502,6 +563,9 @@ class ZyzzyvaCommitCert(CachedEncodable):
     """Client-assembled certificate of ``2F + 1`` matching speculative
     responses, broadcast when the fast path fails."""
 
+    __slots__ = ("batch_id", "view", "seq", "responses",
+                 "_verified_signers")
+
     batch_id: str
     view: ViewId
     seq: SeqNum
@@ -523,6 +587,8 @@ class ZyzzyvaCommitCert(CachedEncodable):
 @dataclass(frozen=True)
 class LocalCommit(CachedEncodable):
     """Replica acknowledgement of a Zyzzyva commit certificate."""
+
+    __slots__ = ("view", "seq", "batch_id", "replica")
 
     view: ViewId
     seq: SeqNum
@@ -552,6 +618,9 @@ class HsQuorumCert(CachedEncodable):
     signatures its size is linear in the quorum — the cost the paper
     calls out."""
 
+    __slots__ = ("phase", "instance", "height", "digest", "signatures",
+                 "_sig_quorum")
+
     phase: str
     instance: int
     height: int
@@ -568,6 +637,9 @@ class HsQuorumCert(CachedEncodable):
 @dataclass(frozen=True)
 class HsProposal(CachedEncodable):
     """Leader broadcast for one HotStuff phase of one instance."""
+
+    __slots__ = ("phase", "instance", "height", "digest", "request",
+                 "justify")
 
     phase: str  # "prepare" | "precommit" | "commit" | "decide"
     instance: int
@@ -598,6 +670,9 @@ class HsProposal(CachedEncodable):
 class HsVote(CachedEncodable):
     """Signed phase vote returned to the instance leader."""
 
+    __slots__ = ("phase", "instance", "height", "digest", "replica",
+                 "signature")
+
     phase: str
     instance: int
     height: int
@@ -626,6 +701,9 @@ class HsVote(CachedEncodable):
 class StewardForward(CachedEncodable):
     """A site's locally agreed-upon request forwarded to the primary
     cluster for global ordering, with the site's local proof."""
+
+    __slots__ = ("origin_cluster", "local_seq", "request",
+                 "certificate")
 
     origin_cluster: ClusterId
     local_seq: SeqNum
@@ -779,7 +857,12 @@ class ThresholdCommitCertificate(CachedEncodable):
     def verify_threshold(self, scheme) -> None:
         """Validate against the cluster's threshold scheme.
 
-        Raises :class:`InvalidCertificateError` on mismatch."""
+        Raises :class:`InvalidCertificateError` on mismatch.  A
+        successful check is memoized per scheme object (certificates are
+        immutable and shared across the replicas of a simulation, so
+        each receiver after the first gets the scan for free)."""
+        if getattr(self, "_verified_scheme", None) is scheme:
+            return
         statement = certificate_statement(
             self.cluster_id, self.round_id, self.request.digest())
         if not scheme.verify(self.signature, statement):
@@ -787,3 +870,4 @@ class ThresholdCommitCertificate(CachedEncodable):
                 f"invalid threshold certificate from cluster "
                 f"{self.cluster_id}"
             )
+        object.__setattr__(self, "_verified_scheme", scheme)

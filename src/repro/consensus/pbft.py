@@ -28,13 +28,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
-from ..crypto.digests import digest_of
+from ..crypto.digests import chain_digest
 from ..errors import ConfigurationError
 from ..ledger.block import Transaction
 from ..net.simulator import Timer
 from ..types import ClusterId, NodeId, SeqNum, ViewId, max_faulty
 from .messages import (
     Checkpoint,
+    adopt_encoding,
     ClientReply,
     ClientRequestBatch,
     Commit,
@@ -85,10 +86,21 @@ class PbftConfig:
 
 
 class _Slot:
-    """Per-sequence-number consensus state."""
+    """Per-sequence-number consensus state.
+
+    ``prepared_count`` / ``commit_count`` incrementally track the number
+    of distinct voters for the slot's accepted digest, so the quorum
+    checks on the hot path (:meth:`PbftEngine._maybe_send_commit`,
+    :meth:`PbftEngine._maybe_decide`) are a single integer comparison
+    instead of a dict lookup plus length scan per vote.  They are
+    (re)computed from the vote maps whenever ``digest`` is assigned —
+    votes can arrive before the pre-prepare that fixes the digest —
+    and bumped on every *new* matching vote after that.
+    """
 
     __slots__ = ("preprepare", "digest", "prepares", "commits",
-                 "sent_prepare", "sent_commit", "decided")
+                 "sent_prepare", "sent_commit", "decided",
+                 "prepared_count", "commit_count")
 
     def __init__(self) -> None:
         self.preprepare: Optional[PrePrepare] = None
@@ -100,6 +112,17 @@ class _Slot:
         self.sent_prepare = False
         self.sent_commit = False
         self.decided = False
+        self.prepared_count = 0
+        self.commit_count = 0
+
+    def set_digest(self, digest: bytes) -> None:
+        """Fix the slot's digest and sync the vote counters with any
+        votes that arrived before the pre-prepare."""
+        self.digest = digest
+        voters = self.prepares.get(digest)
+        self.prepared_count = len(voters) if voters is not None else 0
+        commits = self.commits.get(digest)
+        self.commit_count = len(commits) if commits is not None else 0
 
 
 class PbftEngine:
@@ -127,6 +150,10 @@ class PbftEngine:
         self._owner = owner
         self._cluster_id = cluster_id
         self._members = list(members)
+        # Hot-path membership tests go through a frozenset: node-id
+        # hashes are memoized, so a set probe is one identity hit
+        # instead of an O(n) list scan with field-wise comparisons.
+        self._member_set = frozenset(members)
         self._n = len(members)
         self._f = max_faulty(self._n)
         self._quorum = self._n - self._f
@@ -341,9 +368,14 @@ class PbftEngine:
                                 request)
         slot = self._slot(seq)
         slot.preprepare = preprepare
-        slot.digest = digest
+        slot.set_digest(digest)
         # The primary's pre-prepare counts as its prepare.
-        slot.prepares.setdefault(digest, set()).add(self._owner.node_id)
+        voters = slot.prepares.get(digest)
+        if voters is None:
+            voters = slot.prepares[digest] = set()
+        if self._owner.node_id not in voters:
+            voters.add(self._owner.node_id)
+            slot.prepared_count += 1
         self._owner.broadcast(self._members, preprepare)
         self._arm_progress_timer()
         self._maybe_send_commit(seq, slot)
@@ -400,6 +432,7 @@ class PbftEngine:
                 signed = Commit(commit.cluster_id, commit.view, commit.seq,
                                 commit.digest, commit.replica,
                                 self._owner.sign(commit))
+                adopt_encoding(signed, commit)
                 self._owner.broadcast(self._members, signed)
             return
         if msg.seq >= self._next_seq:
@@ -414,7 +447,7 @@ class PbftEngine:
             if msg.request.digest() != msg.digest:
                 return
             slot.preprepare = msg
-            slot.digest = msg.digest
+            slot.set_digest(msg.digest)
             self._seen_batch_ids.add(msg.request.batch_id)
             self._awaiting_order.discard(msg.request.batch_id)
             self._pending_requests.pop(msg.request.batch_id, None)
@@ -422,10 +455,20 @@ class PbftEngine:
             slot.sent_prepare = True
             prepare = Prepare(self._cluster_id, self._view, msg.seq,
                               msg.digest, self._owner.node_id)
-            slot.prepares.setdefault(msg.digest, set()).add(
-                self._owner.node_id)
+            # slot.digest == msg.digest here (set above, or the
+            # equivocation guard returned earlier), so counter bumps
+            # apply to the accepted digest.
+            voters = slot.prepares.get(msg.digest)
+            if voters is None:
+                voters = slot.prepares[msg.digest] = set()
+            me = self._owner.node_id
+            if me not in voters:
+                voters.add(me)
+                slot.prepared_count += 1
             # Primary's pre-prepare stands in for its prepare.
-            slot.prepares[msg.digest].add(sender)
+            if sender not in voters:
+                voters.add(sender)
+                slot.prepared_count += 1
             self._owner.broadcast(self._members, prepare)
         self._arm_progress_timer()
         self._maybe_send_commit(msg.seq, slot)
@@ -433,17 +476,22 @@ class PbftEngine:
     def _on_prepare(self, msg: Prepare, sender: NodeId) -> None:
         if msg.cluster_id != self._cluster_id or msg.view != self._view:
             return
-        if sender not in self._members or msg.seq <= self._stable_seq:
+        if sender not in self._member_set or msg.seq <= self._stable_seq:
             return
         slot = self._slot(msg.seq)
-        slot.prepares.setdefault(msg.digest, set()).add(sender)
+        voters = slot.prepares.get(msg.digest)
+        if voters is None:
+            voters = slot.prepares[msg.digest] = set()
+        if sender not in voters:
+            voters.add(sender)
+            if msg.digest == slot.digest:
+                slot.prepared_count += 1
         self._maybe_send_commit(msg.seq, slot)
 
     def _maybe_send_commit(self, seq: SeqNum, slot: _Slot) -> None:
         if slot.sent_commit or slot.decided or slot.digest is None:
             return
-        prepared_by = slot.prepares.get(slot.digest, set())
-        if slot.preprepare is None or len(prepared_by) < self._quorum:
+        if slot.preprepare is None or slot.prepared_count < self._quorum:
             return
         slot.sent_commit = True
         instr = self._instr
@@ -455,29 +503,40 @@ class PbftEngine:
         signed = Commit(commit.cluster_id, commit.view, commit.seq,
                         commit.digest, commit.replica,
                         self._owner.sign(commit))
-        slot.commits.setdefault(slot.digest, {})[self._owner.node_id] = signed
+        adopt_encoding(signed, commit)
+        commits = slot.commits.get(slot.digest)
+        if commits is None:
+            commits = slot.commits[slot.digest] = {}
+        if self._owner.node_id not in commits:
+            slot.commit_count += 1
+        commits[self._owner.node_id] = signed
         self._owner.broadcast(self._members, signed)
         self._maybe_decide(seq, slot)
 
     def _on_commit(self, msg: Commit, sender: NodeId) -> None:
         if msg.cluster_id != self._cluster_id:
             return
-        if sender not in self._members or msg.seq <= self._stable_seq:
+        if sender not in self._member_set or msg.seq <= self._stable_seq:
             return
         if msg.replica != sender or msg.signature is None:
             return
         if not self._owner.registry.verify(msg, msg.signature):
             return
         slot = self._slot(msg.seq)
-        slot.commits.setdefault(msg.digest, {})[sender] = msg
+        commits = slot.commits.get(msg.digest)
+        if commits is None:
+            commits = slot.commits[msg.digest] = {}
+        if sender not in commits and msg.digest == slot.digest:
+            slot.commit_count += 1
+        commits[sender] = msg
         self._maybe_decide(msg.seq, slot)
 
     def _maybe_decide(self, seq: SeqNum, slot: _Slot) -> None:
         if slot.decided or slot.preprepare is None or slot.digest is None:
             return
-        commits = slot.commits.get(slot.digest, {})
-        if len(commits) < self._quorum:
+        if slot.commit_count < self._quorum:
             return
+        commits = slot.commits[slot.digest]
         slot.decided = True
         certificate = CommitCertificate(
             cluster_id=self._cluster_id,
@@ -500,9 +559,9 @@ class PbftEngine:
             request, certificate = self._decided[seq]
             self._awaiting_order.discard(request.batch_id)
             self._pending_requests.pop(request.batch_id, None)
-            self._decision_chain = digest_of(
-                (self._decision_chain, seq, certificate.request.digest())
-            )
+            self._decision_chain = chain_digest(
+                self._decision_chain, seq,
+                certificate.request.digest())
             progressed = True
             if instr is not None:
                 instr.phase("committed", self._owner.node_id,
@@ -530,11 +589,12 @@ class PbftEngine:
             checkpoint.cluster_id, checkpoint.seq, checkpoint.state_digest,
             checkpoint.replica, self._owner.sign(checkpoint),
         )
+        adopt_encoding(signed, checkpoint)
         self._record_checkpoint(signed, self._owner.node_id)
         self._owner.broadcast(self._members, signed)
 
     def _on_checkpoint(self, msg: Checkpoint, sender: NodeId) -> None:
-        if msg.cluster_id != self._cluster_id or sender not in self._members:
+        if msg.cluster_id != self._cluster_id or sender not in self._member_set:
             return
         if msg.replica != sender or msg.signature is None:
             return
@@ -587,7 +647,7 @@ class PbftEngine:
                 self._owner.send(peer, request)
 
     def _on_fetch_decision(self, msg: FetchDecision, sender: NodeId) -> None:
-        if msg.cluster_id != self._cluster_id or sender not in self._members:
+        if msg.cluster_id != self._cluster_id or sender not in self._member_set:
             return
         decision = self._decided.get(msg.seq)
         if decision is None:
@@ -714,7 +774,7 @@ class PbftEngine:
             self.start_view_change(self._vc_target + 1)
 
     def _on_view_change_msg(self, msg: ViewChange, sender: NodeId) -> None:
-        if msg.cluster_id != self._cluster_id or sender not in self._members:
+        if msg.cluster_id != self._cluster_id or sender not in self._member_set:
             return
         if msg.replica != sender or msg.new_view <= self._view:
             return
@@ -848,7 +908,16 @@ def engine_verification_cost(costs, quorum: int, message) -> float:
 
     Shared by every replica that embeds a :class:`PbftEngine` (the flat
     baseline, GeoBFT, Steward).  Returns 0 for unsigned/MAC-only types.
+
+    Prepares and commits dominate the message mix (n - 1 of each per
+    replica per slot), so they dispatch on an exact class check before
+    the generic isinstance chain.
     """
+    cls = message.__class__
+    if cls is Prepare:
+        return 0.0
+    if cls is Commit:
+        return costs.verify
     if isinstance(message, ClientRequestBatch):
         return costs.verify if message.signature is not None else 0.0
     if isinstance(message, PrePrepare):
@@ -895,6 +964,10 @@ class PbftReplica(BaseReplica):
             config=config or PbftConfig(),
             on_decide=self._on_decide,
         )
+        # Prepare/commit certify costs are constants (see
+        # engine_verification_cost); let deliver() skip the call.
+        self._const_verify_costs[Prepare] = 0.0
+        self._const_verify_costs[Commit] = self.costs.verify
 
     @property
     def engine(self) -> PbftEngine:

@@ -17,6 +17,7 @@ engine, and helpers to send/broadcast with CPU accounting.
 from __future__ import annotations
 
 import heapq
+from heapq import heappop, heappush
 from typing import Iterable, List, Optional, Sequence
 
 from ..crypto.costs import CryptoCostModel
@@ -102,6 +103,22 @@ class BaseReplica:
         # batches execute serially on this lane, independent of the
         # worker cores.
         self._exec_free_at = 0.0
+        # Constant worker-pool cost of ingesting one message (the
+        # default message_cost); precomputed once per replica.
+        self._base_ingest_cost = (self._costs.message_overhead
+                                  + self._costs.mac_verify)
+        # deliver() skips the message_cost call entirely when the
+        # subclass keeps the default flat ingest cost.
+        self._flat_ingest = (type(self).message_cost
+                             is BaseReplica.message_cost)
+        # Direct reference to the failure model's crash set (mutated in
+        # place, never replaced) — checked on every dispatch.
+        self._crashed_nodes = network.failures._crashed
+        # Message classes whose certify cost is a constant for this
+        # replica (e.g. every Commit costs one signature verify).
+        # Subclasses populate it; classes absent from the dict fall
+        # through to the full verification_cost call.
+        self._const_verify_costs: dict = {}
         # The dedicated certify thread (§3, Figure 9): all signature
         # verification serializes here.  This is the ceiling that keeps
         # signature-heavy protocols (HotStuff QCs without threshold
@@ -183,18 +200,35 @@ class BaseReplica:
         A crashed replica (per the failure model) never gets here — the
         network drops deliveries to crashed nodes.
         """
-        cost = self.message_cost(message, sender)
-        done = self._cpu.acquire(cost)
-        verify_cost = self.verification_cost(message, sender)
+        if self._flat_ingest:
+            cost = self._base_ingest_cost
+        else:
+            cost = self.message_cost(message, sender)
+        # CpuModel.acquire, inlined: this is the single hottest replica
+        # call site (every delivery), so the heap ops run without an
+        # extra Python frame.
+        sim = self._sim
+        now = sim._now
+        cpu_free = self._cpu._free_at
+        soonest = heappop(cpu_free)
+        start = soonest if soonest > now else now
+        done = start + cost
+        heappush(cpu_free, done)
+        verify_cost = self._const_verify_costs.get(message.__class__)
+        if verify_cost is None:
+            verify_cost = self.verification_cost(message, sender)
         if verify_cost > 0:
-            start = max(self._certify_free_at, done)
+            certify_free = self._certify_free_at
+            start = certify_free if certify_free > done else done
             done = start + verify_cost
             self._certify_free_at = done
         # Dispatches are never cancelled: use the allocation-free path.
-        self._sim.post(done - self._sim.now, self._dispatch, message, sender)
+        sim.post(done - now, self._dispatch, message, sender)
 
     def _dispatch(self, message, sender: NodeId) -> None:
-        if self._network.failures.is_crashed(self._node_id):
+        # Inlined FailureModel.is_crashed (the model instance — and its
+        # crash set — live for the whole deployment).
+        if self._node_id in self._crashed_nodes:
             return
         self.handle(message, sender)
 
@@ -204,7 +238,7 @@ class BaseReplica:
         Default: per-message overhead plus one MAC verification (all
         transport is authenticated).
         """
-        return self._costs.message_overhead + self._costs.mac_verify
+        return self._base_ingest_cost
 
     def verification_cost(self, message, sender: NodeId) -> float:
         """Certify-thread seconds ``message`` needs before handling.
@@ -240,18 +274,19 @@ class BaseReplica:
 
     def broadcast(self, dsts: Iterable[NodeId], message,
                   include_self: bool = False) -> None:
-        """Send ``message`` to every destination (one MAC each).
+        """Send ``message`` to every distinct destination (one MAC each).
 
         By convention a replica processes its own broadcast locally
-        without a network hop unless ``include_self`` is set.
+        without a network hop unless ``include_self`` is set.  Routed
+        through :meth:`Network.multicast` so paper-scale fan-outs take
+        the network's single-pass fast path.
         """
-        count = 0
-        for dst in dsts:
-            if dst == self._node_id and not include_self:
-                continue
-            self._network.send(self._node_id, dst, message)
-            count += 1
-        self.charge_cpu(self._costs.mac_create * count)
+        me = self._node_id
+        targets = [dst for dst in dict.fromkeys(dsts)
+                   if include_self or dst != me]
+        # Already distinct: skip the public multicast's dedup pass.
+        self._network._multicast_distinct(me, targets, message)
+        self.charge_cpu(self._costs.mac_create * len(targets))
 
     def sign(self, payload) -> "object":
         """Sign a payload, charging signature CPU cost."""

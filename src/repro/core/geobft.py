@@ -29,9 +29,12 @@ from ..consensus.messages import (
     CertShare,
     ClientReply,
     ClientRequestBatch,
+    Commit,
     CommitCertificate,
     Drvc,
     GlobalShare,
+    Prepare,
+    PrePrepare,
     Rvc,
     ThresholdCommitCertificate,
     certificate_statement,
@@ -80,6 +83,11 @@ class GeoBftReplica(BaseReplica):
         }
         self._own_cluster = node_id.cluster
         self._members = self._clusters[self._own_cluster]
+        # Local-replication traffic dominates; its certify costs are
+        # constants (see verification_cost), so deliver() can skip the
+        # method call for these classes entirely.
+        self._const_verify_costs[Prepare] = 0.0
+        self._const_verify_costs[Commit] = self.costs.verify
 
         self._engine = PbftEngine(
             owner=self,
@@ -109,6 +117,9 @@ class GeoBftReplica(BaseReplica):
         # after execution for DRVC replies (Figure 7 lines 5-7).
         self._shares: Dict[Tuple[ClusterId, RoundId], GlobalShare] = {}
         self._have_share: Set[Tuple[ClusterId, RoundId]] = set()
+        # Rounds at or below this mark have been share-GCed; pruning
+        # advances it incrementally instead of rescanning every key.
+        self._shares_gc_upto: RoundId = 0
         self._max_known_round: RoundId = 0
         # Our own cluster's decided rounds, kept beyond the PBFT
         # engine's checkpoint GC so a post-view-change primary can
@@ -177,6 +188,14 @@ class GeoBftReplica(BaseReplica):
         index before re-verifying a certificate.
         """
         costs = self.costs
+        # Local-replication traffic (prepares/commits) outnumbers every
+        # other type by an order of magnitude; settle it before the
+        # isinstance chain.
+        cls = message.__class__
+        if cls is Prepare:
+            return 0.0
+        if cls is Commit:
+            return costs.verify
         if isinstance(message, GlobalShare):
             key = (message.cluster_id, message.round_id)
             if (key in self._have_share
@@ -199,6 +218,19 @@ class GeoBftReplica(BaseReplica):
 
     def handle(self, message, sender: NodeId) -> None:
         """Dispatch to the sub-protocol that owns the message type."""
+        cls = message.__class__
+        # Local-replication traffic dominates; route it straight to the
+        # engine's handlers, skipping its isinstance dispatch ladder.
+        engine = self._engine
+        if cls is Prepare:
+            engine._on_prepare(message, sender)
+            return
+        if cls is Commit:
+            engine._on_commit(message, sender)
+            return
+        if cls is PrePrepare:
+            engine._on_preprepare(message, sender)
+            return
         if isinstance(message, ClientRequestBatch):
             self._on_client_request(message, sender)
         elif isinstance(message, GlobalShare):
@@ -458,12 +490,21 @@ class GeoBftReplica(BaseReplica):
 
     def _gc_shares(self, executed_round: RoundId) -> None:
         horizon = executed_round - SHARE_RETENTION_ROUNDS
-        if horizon <= 0:
+        if horizon <= self._shares_gc_upto:
             return
-        stale = [key for key in self._shares if key[1] <= horizon]
-        for key in stale:
-            del self._shares[key]
-            self._have_share.discard(key)
+        # Rounds execute in order and an executed round's shares can
+        # never re-enter (``has_share`` reports executed rounds as
+        # held), so only the window since the last prune needs visiting
+        # — no full-dict scan per round.
+        shares = self._shares
+        have = self._have_share
+        for round_id in range(self._shares_gc_upto + 1, horizon + 1):
+            for cluster in self._clusters:
+                key = (cluster, round_id)
+                if key in shares:
+                    del shares[key]
+                    have.discard(key)
+        self._shares_gc_upto = horizon
 
     # ------------------------------------------------------------------
     # Recovery hooks

@@ -96,14 +96,23 @@ class CachedEncodable:
     object identity, so a mutated payload would silently keep its old
     encoding.  ``dataclasses.replace`` and any other reconstruction
     produce a fresh instance with an empty cache.
+
+    The cache attributes are declared as ``__slots__`` so that
+    subclasses which declare their own ``__slots__`` (the hottest
+    message classes) still memoize: slot storage works whether or not
+    the subclass keeps a ``__dict__``.  All cache reads go through
+    attribute access (never ``__dict__``), because a slot descriptor
+    shadows the instance dict.
     """
 
-    __slots__ = ()
+    __slots__ = ("_encoded_cache", "_payload_digest_cache", "_size_cache",
+                 "_digest_cache")
 
     def encoded(self) -> bytes:
         """Canonical byte encoding of ``payload()``, computed once."""
-        cached = self.__dict__.get("_encoded_cache")
-        if cached is None:
+        try:
+            cached = self._encoded_cache
+        except AttributeError:
             ENCODING_STATS.encode_misses += 1
             out: list[bytes] = []
             _encode(self, out)
@@ -120,8 +129,9 @@ class CachedEncodable:
         expose (e.g. a request's digest covers only its transaction
         batch); this one covers the full ``payload()``.
         """
-        cached = self.__dict__.get("_payload_digest_cache")
-        if cached is None:
+        try:
+            cached = self._payload_digest_cache
+        except AttributeError:
             ENCODING_STATS.digest_misses += 1
             cached = hashlib.sha256(self.encoded()).digest()
             object.__setattr__(self, "_payload_digest_cache", cached)
@@ -211,17 +221,27 @@ def _encode(value: Any, out: list[bytes]) -> None:
                 push(v[key])
                 push(key)
         elif isinstance(v, CachedEncodable):
-            cached = v.__dict__.get("_encoded_cache")
+            cached = getattr(v, "_encoded_cache", None)
             if cached is not None:
                 ENCODING_STATS.splice_hits += 1
                 emit(cached)
             else:
                 ENCODING_STATS.splice_misses += 1
+                payload = v.payload()
+                # Scalar-only payloads (transactions, prepares, votes —
+                # the bulk of splice misses) encode in one flat pass,
+                # skipping the _CacheMark bookkeeping entirely.
+                if payload.__class__ is tuple:
+                    flat = _encode_flat_tuple(payload)
+                    if flat is not None:
+                        emit(flat)
+                        object.__setattr__(v, "_encoded_cache", flat)
+                        continue
                 # Encode payload(), then fold the produced bytes into one
                 # cached chunk attached to the instance (the _CacheMark
                 # pops only after the payload finished encoding).
                 push(_CacheMark(v, len(out)))
-                push(v.payload())
+                push(payload)
         # Subclass fallbacks, in the historical dispatch order.
         elif isinstance(v, int):
             body = b"%d" % v
@@ -279,6 +299,55 @@ def digest(data: bytes) -> bytes:
     return hashlib.sha256(data).digest()
 
 
+def _encode_flat_tuple(value: tuple) -> "bytes | None":
+    """Canonical encoding of a tuple of scalar primitives, or ``None``.
+
+    Decision chains, history digests, and block hashes all digest small
+    flat tuples of ints/bytes/strings at very high rates; emitting their
+    encoding in one pass skips the generic work-stack machinery.  The
+    bytes produced are identical to :func:`_encode`'s output.  Any
+    element outside the scalar set (nesting, floats, subclasses) returns
+    ``None`` and the caller falls back to the full encoder.
+    """
+    parts = [b"l%d:" % len(value)]
+    emit = parts.append
+    for v in value:
+        cls = v.__class__
+        if cls is bytes:
+            emit(b"b%d:%b" % (len(v), v))
+        elif cls is int:
+            body = b"%d" % v
+            emit(b"i%d:%b" % (len(body), body))
+        elif cls is str:
+            body = v.encode()
+            emit(b"s%d:%b" % (len(body), body))
+        elif v is None:
+            emit(b"N")
+        elif v is True:
+            emit(b"T")
+        elif v is False:
+            emit(b"F")
+        else:
+            return None
+    emit(b";")
+    return b"".join(parts)
+
+
+def chain_digest(prev: bytes, seq: int, link: bytes) -> bytes:
+    """SHA256 of the canonical encoding of ``(prev, seq, link)``.
+
+    Specialized for the hash-chain triples every decided round folds
+    into a running digest (PBFT decision chains, Zyzzyva histories):
+    byte-identical to ``digest_of((prev, seq, link))`` with the tuple
+    build, dispatch loop, and join skipped.  ``prev``/``link`` must be
+    exactly ``bytes`` and ``seq`` exactly ``int``.
+    """
+    body = b"%d" % seq
+    return hashlib.sha256(
+        b"l3:b%d:%bi%d:%bb%d:%b;" % (len(prev), prev, len(body), body,
+                                     len(link), link)).digest()
+
+
 def digest_of(value: Any) -> bytes:
     """SHA256 digest of the canonical encoding of ``value``.
 
@@ -289,6 +358,10 @@ def digest_of(value: Any) -> bytes:
     """
     if isinstance(value, CachedEncodable):
         return value.payload_digest()
+    if value.__class__ is tuple:
+        flat = _encode_flat_tuple(value)
+        if flat is not None:
+            return hashlib.sha256(flat).digest()
     return digest(encode_canonical(value))
 
 
@@ -301,4 +374,4 @@ def cached_digest(value: Any) -> bytes:
     """
     if isinstance(value, CachedEncodable):
         return value.payload_digest()
-    return digest(encode_canonical(value))
+    return digest_of(value)

@@ -10,6 +10,7 @@ hash, so any modification of a stored block is detectable.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Any, Optional, Tuple
 
@@ -40,6 +41,25 @@ class Transaction(CachedEncodable):
         """Canonical primitive form for hashing/signing."""
         return ("txn", self.txn_id, self.op, self.key, self.value)
 
+    def prime_encoding(self) -> "Transaction":
+        """Precompute the canonical encoding in one interpolation.
+
+        Byte-identical to what the generic encoder would cache on first
+        use (the determinism suite pins this); callers that mint
+        transactions at workload rates (YCSB) prime eagerly so the hot
+        batch-digest path never enters the encoder's dispatch loop.
+        Only valid for exact ``str``/``int`` field types.
+        """
+        tid = self.txn_id.encode()
+        op = self.op.encode()
+        val = self.value.encode()
+        key = b"%d" % self.key
+        object.__setattr__(
+            self, "_encoded_cache",
+            b"l5:s3:txns%d:%bs%d:%bi%d:%bs%d:%b;"
+            % (len(tid), tid, len(op), op, len(key), key, len(val), val))
+        return self
+
     @classmethod
     def noop(cls, txn_id: str = "noop") -> "Transaction":
         """The paper's no-op request, proposed when a cluster has no
@@ -56,9 +76,20 @@ def batch_digest(batch: Batch) -> bytes:
 
     Encoding a :class:`Transaction` object is byte-identical to encoding
     its ``payload()`` tuple, so this digest matches the historical
-    definition while reusing each transaction's cached bytes.
+    definition while reusing each transaction's cached bytes.  When
+    every transaction's encoding is already cached (workload-minted
+    batches always are), the digest is one join + one hash — the
+    encoder's dispatch loop is skipped entirely.
     """
-    return digest_of(tuple(batch))
+    parts = [b"l%d:" % len(batch)]
+    append = parts.append
+    for txn in batch:
+        try:
+            append(txn._encoded_cache)
+        except AttributeError:
+            return digest_of(tuple(batch))
+    append(b";")
+    return hashlib.sha256(b"".join(parts)).digest()
 
 
 @dataclass(frozen=True)

@@ -22,6 +22,46 @@ from .store import YcsbStore
 _results_digest_memo: dict = {}
 _RESULTS_MEMO_MAX = 4096
 
+# Write-only batches (the paper's YCSB workload is write-heavy; the
+# default benchmarks are pure-write) produce results that do not depend
+# on store state: every update/insert/noop yields "ok" and the state
+# change is a plain sequence of key overwrites.  Since the simulator
+# hands the *same* batch tuple to every replica, the per-transaction
+# walk can be compiled once into a (writes, results) plan and applied
+# everywhere else with one C-level ``dict.update``.  Keyed by object
+# identity with a strong reference retained, so a recycled id can never
+# alias a different batch (the ``is`` check rejects stale entries).
+_batch_plan_memo: dict = {}
+_PLAN_MEMO_MAX = 4096
+
+
+def _compile_plan(batch: Batch):
+    """``(max_key, write_pairs, results)`` for a write-only batch.
+
+    Returns ``None`` when the batch contains any state-dependent or
+    unknown operation (reads, read-modify-writes) or a negative key —
+    those take the per-transaction path with its exact sequential
+    semantics.
+    """
+    pairs: list = []
+    results: list = []
+    max_key = -1
+    for txn in batch:
+        op = txn.op
+        if op == "update" or op == "insert":
+            key = txn.key
+            if key < 0:
+                return None
+            if key > max_key:
+                max_key = key
+            pairs.append((key, txn.value))
+            results.append("ok")
+        elif op == "noop":
+            results.append("ok")
+        else:
+            return None
+    return (max_key, pairs, results)
+
 
 class ExecutionEngine:
     """Applies request batches to a :class:`YcsbStore` deterministically."""
@@ -60,8 +100,37 @@ class ExecutionEngine:
         return result
 
     def execute_batch(self, batch: Batch) -> List[str]:
-        """Execute a batch in order, returning per-transaction results."""
-        return [self.execute_txn(txn) for txn in batch]
+        """Execute a batch in order, returning per-transaction results.
+
+        Write-only batches take a compiled-plan fast path (see
+        :func:`_compile_plan`): identical observable behaviour — same
+        results, same store state, same counters — at a fraction of the
+        per-transaction interpretation cost.  Batches that could raise
+        (a key outside the active set) or read state fall back to the
+        sequential path so error and partial-application semantics stay
+        exactly as before.
+        """
+        entry = _batch_plan_memo.get(id(batch))
+        if entry is not None and entry[0] is batch:
+            plan = entry[1]
+        else:
+            plan = _compile_plan(batch)
+            if len(_batch_plan_memo) >= _PLAN_MEMO_MAX:
+                _batch_plan_memo.pop(next(iter(_batch_plan_memo)))
+            _batch_plan_memo[id(batch)] = (batch, plan)
+        if plan is None:
+            return [self.execute_txn(txn) for txn in batch]
+        max_key, pairs, results = plan
+        store = self._store
+        if max_key >= store.record_count:
+            # Would raise mid-batch: keep sequential partial application.
+            return [self.execute_txn(txn) for txn in batch]
+        if pairs:
+            # Keys were validated at plan compile time (non-negative)
+            # and against this store's active set just above.
+            store._apply_writes(pairs)
+        self._executed_txns += len(results)
+        return list(results)
 
     def results_digest(self, results: List[str]) -> bytes:
         """Digest of a result list — what clients compare across the

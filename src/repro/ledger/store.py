@@ -75,6 +75,32 @@ class YcsbStore:
         growing sets are out of scope for the paper's workload)."""
         self.update(key, value)
 
+    def update_many(self, pairs: List[Tuple[int, str]]) -> None:
+        """Bulk overwrite: apply ``(key, value)`` pairs in order.
+
+        All-or-nothing — keys are validated up front and nothing is
+        applied on a violation (callers needing the sequential
+        partial-application semantics use :meth:`update` per record).
+        Equivalent to updating each pair in a loop, at C speed; the
+        execution engine's write-only batch fast path relies on it.
+        """
+        if pairs:
+            keys = [k for k, _ in pairs]
+            low, high = min(keys), max(keys)
+            if low < 0 or high >= self._record_count:
+                bad = low if low < 0 else high
+                raise WorkloadError(
+                    f"key {bad} outside active set [0, {self._record_count})"
+                )
+            self._apply_writes(pairs)
+
+    def _apply_writes(self, pairs: List[Tuple[int, str]]) -> None:
+        """Bulk overwrite with no key validation — callers (the
+        execution engine's compiled-plan path) have already bounds-
+        checked every key against the active set."""
+        self._writes += len(pairs)
+        self._data.update(pairs)
+
     def modify(self, key: int, suffix: str) -> str:
         """Read-modify-write: append ``suffix`` and return the new value."""
         new_value = self.read(key) + "|" + suffix

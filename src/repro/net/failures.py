@@ -162,6 +162,31 @@ class FailureModel:
         """Fast guard for the network hot path."""
         return bool(self._transform_rules)
 
+    @property
+    def has_send_faults(self) -> bool:
+        """Whether any fault could suppress a send at the sender."""
+        return bool(self._crashed or self._send_rules)
+
+    @property
+    def has_flight_faults(self) -> bool:
+        """Whether any fault could lose a message in flight."""
+        return bool(self._severed or self._drop_rules)
+
+    @property
+    def has_receive_faults(self) -> bool:
+        """Whether any fault could drop a delivery at the receiver."""
+        return bool(self._crashed or self._receive_rules)
+
+    @property
+    def any_send_path_faults(self) -> bool:
+        """Whether anything on the *send* path (suppression, tampering,
+        partitions, in-flight loss, extra delay) is armed.  Receive-side
+        rules are excluded: they are evaluated at delivery time, so the
+        multicast fast path remains valid while they are installed."""
+        return bool(self._crashed or self._send_rules
+                    or self._transform_rules or self._severed
+                    or self._drop_rules or self._delay_rules)
+
     # ------------------------------------------------------------------
     # Queries used by the network
     # ------------------------------------------------------------------

@@ -17,11 +17,24 @@ The model captures the two quantities the paper's evaluation turns on
 Failures are injected through a :class:`repro.net.failures.FailureModel`
 consulted on every send/delivery, keeping protocol code oblivious to the
 failure scenario being tested.
+
+Fan-out fast path
+-----------------
+``multicast`` is the hot entry point at paper scale (every broadcast of
+every phase of every protocol).  When no failure machinery is armed it
+resolves the sender, message size, and per-region link parameters once
+per call instead of once per destination, dedups repeated destinations,
+batches the per-destination uplink bookkeeping into one pass, and emits
+a *single grouped delivery event* for each run of consecutive
+destinations sharing an arrival instant.  Grouped events consume one
+sequence number per destination and credit the skipped events back to
+the simulator, so event counts, tie-breaking, and therefore the
+deployment digest are byte-identical to the per-destination path.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Optional, Protocol, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Protocol, Tuple
 
 from ..errors import ConfigurationError
 from ..types import NodeId
@@ -58,19 +71,24 @@ _WAN_EGRESS = "__wan__"
 def _message_size(message: SizedMessage) -> int:
     """``message.size_bytes()``, memoized per message instance.
 
-    A multicast re-queries the size once per destination and certificates
-    are re-sent across phases; the wire size of an (immutable) message
-    never changes, so cache it in the instance ``__dict__``.  Objects
-    without a ``__dict__`` (slotted test doubles) just recompute.
+    A multicast needs the size once per call and certificates are
+    re-sent across phases; the wire size of an (immutable) message never
+    changes, so cache it on the instance.  Library messages declare a
+    ``_size_cache`` slot on their :class:`~repro.crypto.digests.
+    CachedEncodable` base, so the memo works for slotted and dict-backed
+    classes alike — there is no silent per-send recompute for
+    library-owned messages.  Only foreign duck-typed objects that
+    reject the attribute (e.g. slotted test doubles without the slot)
+    fall back to recomputing.
     """
-    try:
-        cached = message.__dict__.get("_size_cache")
-    except AttributeError:
-        return message.size_bytes()
-    if cached is None:
-        cached = message.size_bytes()
-        object.__setattr__(message, "_size_cache", cached)
-    return cached
+    size = getattr(message, "_size_cache", None)
+    if size is None:
+        size = message.size_bytes()
+        try:
+            object.__setattr__(message, "_size_cache", size)
+        except AttributeError:
+            pass
+    return size
 
 
 class Network:
@@ -84,7 +102,22 @@ class Network:
         self._nodes: Dict[NodeId, NetworkNode] = {}
         # (sender, destination region) -> time the uplink frees up.
         self._uplink_free_at: Dict[Tuple[NodeId, str], float] = {}
+        # src -> dst -> (bandwidth, latency, is_local): multicast's
+        # per-destination routing, resolved once per pair (topology and
+        # node regions are fixed for a deployment's lifetime).
+        self._routes: Dict[NodeId, Dict[NodeId, tuple]] = {}
+        # src -> its local-region uplink key, resolved once.
+        self._local_keys: Dict[NodeId, Tuple[NodeId, str]] = {}
         self._observers: list[SendObserver] = []
+        # Precomposed observer chain: None (no observers), the single
+        # observer itself, or a fan-out closure — one attribute load and
+        # one None test on the hot path instead of iterating a list.
+        self._notify: Optional[SendObserver] = None
+        # Batched observer variant: set when the single registered
+        # observer also handles whole destination groups (the bench
+        # metrics sink does).  Lets multicast report one call per
+        # local/remote group instead of one call per destination.
+        self._group_notify = None
         # Telemetry counters (pure integers, never read by the model).
         self._sends = 0
         self._self_sends = 0
@@ -130,9 +163,31 @@ class Network:
         """Ids of all registered nodes."""
         return self._nodes.keys()
 
-    def add_observer(self, observer: SendObserver) -> None:
-        """Register a callback invoked for every (non-dropped) send."""
+    def add_observer(self, observer: SendObserver,
+                     group_observer=None) -> None:
+        """Register a callback invoked for every (non-dropped) send.
+
+        ``group_observer``, when given, is an equivalent batched hook
+        ``(src, dsts, message, size, is_local)`` that multicast may call
+        once per destination group instead of calling ``observer`` per
+        destination (same totals, far fewer calls).  The batched path is
+        only used while it is the *sole* registered observer — as soon
+        as a second observer registers, every send notifies per
+        destination again so all observers see identical streams.
+        """
         self._observers.append(observer)
+        if len(self._observers) == 1:
+            self._notify = observer
+            self._group_notify = group_observer
+        else:
+            observers = tuple(self._observers)
+
+            def fan_out(src, dst, message, size, is_local):
+                for obs in observers:
+                    obs(src, dst, message, size, is_local)
+
+            self._notify = fan_out
+            self._group_notify = None
 
     def send(self, src: NodeId, dst: NodeId, message: SizedMessage) -> None:
         """Transmit ``message`` from ``src`` to ``dst``.
@@ -151,13 +206,15 @@ class Network:
             return
         sender = self.node(src)
         receiver = self.node(dst)
-        if self._failures.suppresses_send(src, dst, message):
+        failures = self._failures
+        if failures.has_send_faults and failures.suppresses_send(
+                src, dst, message):
             self._suppressed_sends += 1
             return
-        if self._failures.has_transform_rules:
+        if failures.has_transform_rules:
             # Byzantine tampering: the sender transmits a corrupted copy
             # (honest receivers reject it in their verify paths).
-            transformed = self._failures.transform(src, dst, message)
+            transformed = failures.transform(src, dst, message)
             if transformed is None:
                 self._suppressed_sends += 1
                 return
@@ -176,16 +233,18 @@ class Network:
         start = max(self._sim.now, self._uplink_free_at.get(key, 0.0))
         self._uplink_free_at[key] = start + transmit
         arrival_delay = (start - self._sim.now) + transmit + link.latency_s
-        if self._failures.has_delay_rules:
-            extra = self._failures.extra_delay(src, dst, message)
+        if failures.has_delay_rules:
+            extra = failures.extra_delay(src, dst, message)
             if extra > 0.0:
                 self._delayed_sends += 1
                 arrival_delay += extra
         is_local = sender.region == receiver.region
         self._sends += 1
-        for observer in self._observers:
-            observer(src, dst, message, size, is_local)
-        if self._failures.drops_in_flight(src, dst, message):
+        notify = self._notify
+        if notify is not None:
+            notify(src, dst, message, size, is_local)
+        if failures.has_flight_faults and failures.drops_in_flight(
+                src, dst, message):
             self._in_flight_drops += 1
             return
         # Deliveries are never cancelled: use the allocation-free path.
@@ -193,21 +252,145 @@ class Network:
 
     def multicast(self, src: NodeId, dsts: Iterable[NodeId],
                   message: SizedMessage) -> None:
-        """Send one copy of ``message`` to each destination.
+        """Send one copy of ``message`` to each (distinct) destination.
 
         Copies to the same region serialize on the shared uplink, which
-        is what makes "broadcast to a far region" expensive.
+        is what makes "broadcast to a far region" expensive.  Repeated
+        destinations are deduplicated — a node listed twice receives
+        (and the sender transmits) exactly one copy.
+
+        With no failure machinery armed this runs a single-pass fast
+        path: sender/size/link resolution happens once, uplink clocks
+        are advanced in one sweep, and consecutive destinations sharing
+        an arrival instant collapse into one grouped delivery event
+        (sequence numbers and processed-event counts are preserved, so
+        determinism digests do not change).
         """
+        self._multicast_distinct(src, list(dict.fromkeys(dsts)), message)
+
+    def _multicast_distinct(self, src: NodeId, dsts: List[NodeId],
+                            message: SizedMessage) -> None:
+        """:meth:`multicast` body for an already-deduplicated ``dsts``
+        list (:meth:`BaseReplica.broadcast` dedups while filtering and
+        calls this directly to avoid a second pass)."""
+        failures = self._failures
+        if failures.any_send_path_faults:
+            for dst in dsts:
+                self.send(src, dst, message)
+            return
+        sim = self._sim
+        now = sim.now
+        size = None
+        notify = self._notify
+        group_notify = self._group_notify
+        local_dsts: list = []
+        wan_dsts: list = []
+        routes = self._routes.get(src)
+        if routes is None:
+            routes = self._routes[src] = {}
+        # A multicast touches at most two uplink queues — the sender's
+        # local-region link and the shared WAN egress pipe — so their
+        # clocks advance in two locals and write back once at the end,
+        # instead of a dict get/set pair per destination.
+        free_at = self._uplink_free_at
+        local_free = wan_free = -1.0
+        local_key = wan_key = None
+        sends = 0
+        # One pass: resolve, advance uplink clocks, collect arrivals.
+        deliveries = []  # (arrival_delay, dst)
+        append = deliveries.append
         for dst in dsts:
-            self.send(src, dst, message)
+            if dst == src:
+                self._self_sends += 1
+                sim.post(0.0, self._deliver, src, dst, message)
+                continue
+            if size is None:
+                size = _message_size(message)
+            route = routes.get(dst)
+            if route is None:
+                sregion = self.node(src).region
+                rregion = self.node(dst).region  # raises if unknown
+                link = self._topology.link(sregion, rregion)
+                # Bandwidth is kept (not inverted): ``size / bw`` must
+                # stay bit-identical to the unicast path's arithmetic.
+                route = routes[dst] = (link.bandwidth_bytes_per_s,
+                                       link.latency_s, rregion == sregion)
+            bandwidth, latency, is_local = route
+            transmit = size / bandwidth
+            if is_local:
+                if local_key is None:
+                    local_key = self._local_keys.get(src)
+                    if local_key is None:
+                        local_key = self._local_keys[src] = (
+                            src, self.node(src).region)
+                    local_free = free_at.get(local_key, 0.0)
+                start = local_free if local_free > now else now
+                local_free = start + transmit
+            else:
+                if wan_key is None:
+                    wan_key = (src, _WAN_EGRESS)
+                    wan_free = free_at.get(wan_key, 0.0)
+                start = wan_free if wan_free > now else now
+                wan_free = start + transmit
+            sends += 1
+            if group_notify is not None:
+                (local_dsts if is_local else wan_dsts).append(dst)
+            elif notify is not None:
+                notify(src, dst, message, size, is_local)
+            append(((start - now) + transmit + latency, dst))
+        self._sends += sends
+        if group_notify is not None:
+            if local_dsts:
+                group_notify(src, local_dsts, message, size, True)
+            if wan_dsts:
+                group_notify(src, wan_dsts, message, size, False)
+        if local_key is not None:
+            free_at[local_key] = local_free
+        if wan_key is not None:
+            free_at[wan_key] = wan_free
+        # Emit delivery events, grouping consecutive equal-arrival runs.
+        i = 0
+        count = len(deliveries)
+        post = sim.post
+        post_group = sim.post_group
+        while i < count:
+            delay, dst = deliveries[i]
+            j = i + 1
+            while j < count and deliveries[j][0] == delay:
+                j += 1
+            if j == i + 1:
+                post(delay, self._deliver, src, dst, message)
+            else:
+                group = tuple(d for _, d in deliveries[i:j])
+                post_group(delay, len(group), self._deliver_group,
+                           src, group, message)
+            i = j
 
     def _deliver(self, src: NodeId, dst: NodeId, message) -> None:
-        if self._failures.drops_at_receiver(src, dst, message):
-            self._receiver_drops += 1
-            return
+        failures = self._failures
+        # has_receive_faults, inlined: one delivery per message makes a
+        # property descriptor call here measurable at paper scale.
+        if failures._crashed or failures._receive_rules:
+            if failures.drops_at_receiver(src, dst, message):
+                self._receiver_drops += 1
+                return
         node = self._nodes.get(dst)
         if node is not None:
             node.deliver(message, src)
+
+    def _deliver_group(self, src: NodeId, dsts: Tuple[NodeId, ...],
+                       message) -> None:
+        """Deliver one multicast copy to each of a same-instant group.
+
+        Stands in for ``len(dsts)`` individual delivery events (their
+        sequence numbers were consecutive, so no foreign event can sort
+        between them); the skipped events are credited back so
+        ``events_processed`` matches the per-destination schedule.
+        """
+        self._sim.count_extra_events(len(dsts) - 1)
+        deliver = self._deliver
+        for dst in dsts:
+            deliver(src, dst, message)
 
     def telemetry(self) -> Dict[str, int]:
         """Send/drop counters (observability only)."""

@@ -14,18 +14,37 @@ Two scheduling paths share one queue and one sequence counter:
 * :meth:`Simulation.post` is the fast path for the vast majority of
   events (message deliveries, deferred sends) that are never cancelled:
   no ``Timer`` object is allocated, the callback and args ride directly
-  in the heap entry.
+  in the queue entry.
 
 Because both paths consume the same monotonically increasing sequence
 number, mixing them cannot reorder events: determinism is a property of
 the (deadline, seq) pair, which is identical whichever path created the
 event.
+
+Storage is split between two structures that together implement the
+exact (deadline, seq) total order:
+
+* a **zero-delay lane** — a plain FIFO for events posted with delay
+  ``0.0``.  Such events always belong to the *current* instant, so they
+  never need heap ordering; appending to a list is far cheaper than a
+  heap push at paper-scale queue depths.  The lane drains before virtual
+  time can advance, interleaved with same-instant calendar events in
+  sequence order, so the observable order is identical to a single heap.
+* a **calendar queue** (:class:`_CalendarQueue`) — the ns-3-style
+  bucketed scheduler for everything else.  Events hash into fixed-width
+  time buckets; inserts into future buckets are O(1) appends, and each
+  bucket is sorted once when the clock reaches it.  Ties always land in
+  the same bucket (same deadline ⇒ same bucket), so (deadline, seq)
+  ordering is preserved exactly.
 """
 
 from __future__ import annotations
 
+import gc
 import heapq
 import random
+from bisect import insort
+from collections import deque
 from typing import Any, Callable, Optional
 
 from ..errors import SimulationError
@@ -69,6 +88,104 @@ class Timer:
         self._fn(*self._args)
 
 
+#: Width of one calendar bucket, in simulated seconds.  One millisecond
+#: sits between the shortest intra-region one-way latencies (~0.25 ms)
+#: and the WAN latencies (tens to hundreds of ms), so at paper scale a
+#: bucket holds a few hundred events — large enough that most inserts
+#: are O(1) appends into future buckets, small enough that sorting the
+#: active bucket stays cheap.
+_BUCKET_WIDTH = 1e-3
+
+
+class _CalendarQueue:
+    """Bucketed (calendar) event queue with exact (deadline, seq) order.
+
+    Entries are ``(deadline, seq, timer, fn, args)`` tuples — the same
+    shape :class:`Simulation` has always used.  Each entry hashes into
+    the bucket ``int(deadline / width)``; only non-empty buckets exist
+    (a dict, not a ring), so sparse far-future timers cost one dict slot
+    each instead of degrading a fixed-size calendar.
+
+    * **push** into a future bucket: ``list.append`` (unsorted) — O(1).
+    * **pop**: the minimum-epoch bucket is *activated* — sorted once,
+      then consumed front-to-back through an index cursor.  Inserts that
+      land in the already-active bucket use ``bisect.insort`` past the
+      cursor, preserving order.
+    * an insert *earlier* than the active bucket (possible after the
+      clock jumped over empty buckets) deactivates the current bucket
+      back into the dict; the next pop re-activates the true minimum.
+
+    Ties share a deadline and therefore a bucket, so sorting by the full
+    tuple reproduces the global (deadline, seq) order exactly — the
+    property the determinism suite asserts byte-for-byte.
+    """
+
+    __slots__ = ("_width", "_buckets", "_epochs", "_active", "_active_epoch",
+                 "_cursor", "_size")
+
+    def __init__(self, width: float = _BUCKET_WIDTH):
+        self._width = width
+        self._buckets: dict = {}     # epoch -> unsorted list of entries
+        self._epochs: list = []      # min-heap of epochs present in _buckets
+        self._active: Optional[list] = None   # sorted; consumed via cursor
+        self._active_epoch = 0
+        self._cursor = 0
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def push(self, entry: tuple) -> None:
+        epoch = int(entry[0] / self._width)
+        active = self._active
+        if active is not None:
+            if epoch == self._active_epoch:
+                insort(active, entry, self._cursor)
+                self._size += 1
+                return
+            if epoch < self._active_epoch:
+                # The clock previously jumped past this epoch; demote the
+                # active bucket and let the next pop re-activate the min.
+                if self._cursor < len(active):
+                    self._buckets[self._active_epoch] = active[self._cursor:]
+                    heapq.heappush(self._epochs, self._active_epoch)
+                self._active = None
+        bucket = self._buckets.get(epoch)
+        if bucket is None:
+            self._buckets[epoch] = [entry]
+            heapq.heappush(self._epochs, epoch)
+        else:
+            bucket.append(entry)
+        self._size += 1
+
+    def peek(self) -> Optional[tuple]:
+        """The minimum entry, or ``None`` when empty (does not remove)."""
+        active = self._active
+        while active is None or self._cursor >= len(active):
+            if not self._epochs:
+                self._active = None
+                return None
+            epoch = heapq.heappop(self._epochs)
+            active = self._buckets.pop(epoch)
+            active.sort()
+            self._active = active
+            self._active_epoch = epoch
+            self._cursor = 0
+        return active[self._cursor]
+
+    def advance(self) -> None:
+        """Consume the entry last returned by :meth:`peek`."""
+        self._cursor += 1
+        self._size -= 1
+
+    def pop(self) -> Optional[tuple]:
+        entry = self.peek()
+        if entry is not None:
+            self._cursor += 1
+            self._size -= 1
+        return entry
+
+
 class Simulation:
     """A discrete-event loop with deterministic tie-breaking.
 
@@ -82,12 +199,19 @@ class Simulation:
     def __init__(self, seed: int = 0):
         self._now = 0.0
         self._seq = 0
-        # Heap entries are (deadline, seq, timer, fn, args): ``schedule``
+        # Queue entries are (deadline, seq, timer, fn, args): ``schedule``
         # pushes (deadline, seq, Timer, None, None); ``post`` pushes
         # (deadline, seq, None, fn, args).  ``seq`` is unique, so tuple
         # comparison never reaches the non-comparable tail.
-        self._queue: list[tuple] = []
+        self._calendar = _CalendarQueue()
+        # Zero-delay FIFO lane: every entry's deadline equals the current
+        # instant (the lane drains before time advances), so plain FIFO
+        # order *is* (deadline, seq) order within the lane.
+        self._lane: deque = deque()
         self._events_processed = 0
+        # Queue depth is tracked incrementally (push +1 / consume -1)
+        # so the hot post() path never takes two len() calls.
+        self._depth = 0
         self._max_queue = 0
         self.rng = random.Random(seed)
 
@@ -104,12 +228,23 @@ class Simulation:
     @property
     def pending_events(self) -> int:
         """Events still in the queue (including cancelled ones)."""
-        return len(self._queue)
+        return len(self._calendar) + len(self._lane)
 
     @property
     def max_queue_depth(self) -> int:
         """High-water mark of the event queue (telemetry)."""
         return self._max_queue
+
+    def count_extra_events(self, extra: int) -> None:
+        """Credit ``extra`` additional processed events to the loop.
+
+        Used by batched dispatchers (e.g. the network's grouped multicast
+        delivery) that fire what used to be ``k`` separate queue entries
+        from a single one: crediting ``k - 1`` here keeps
+        :attr:`events_processed` — and therefore the deployment digest —
+        identical to the unbatched schedule.
+        """
+        self._events_processed += extra
 
     def schedule(self, delay: float, fn: Callable[..., None],
                  *args: Any) -> Timer:
@@ -122,10 +257,16 @@ class Simulation:
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past: {delay}")
         timer = Timer(self._now + delay, fn, args)
-        heapq.heappush(self._queue, (timer.deadline, self._seq, timer, None, None))
+        entry = (timer.deadline, self._seq, timer, None, None)
         self._seq += 1
-        if len(self._queue) > self._max_queue:
-            self._max_queue = len(self._queue)
+        if delay == 0.0:
+            self._lane.append(entry)
+        else:
+            self._calendar.push(entry)
+        depth = self._depth + 1
+        self._depth = depth
+        if depth > self._max_queue:
+            self._max_queue = depth
         return timer
 
     def post(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
@@ -133,23 +274,102 @@ class Simulation:
 
         Identical ordering semantics to :meth:`schedule` (same clock,
         same sequence counter) but no :class:`Timer` is allocated — the
-        callback rides in the heap entry.  Use for message deliveries and
-        other fire-and-forget events; use :meth:`schedule` when the
+        callback rides in the queue entry.  Use for message deliveries
+        and other fire-and-forget events; use :meth:`schedule` when the
         caller needs a cancellation handle.
         """
-        if delay < 0:
+        if delay == 0.0:
+            self._lane.append((self._now, self._seq, None, fn, args))
+        elif delay > 0:
+            # _CalendarQueue.push, inlined — post() carries most of the
+            # schedule (message deliveries), so the bucket insert runs
+            # without an extra Python frame.
+            deadline = self._now + delay
+            entry = (deadline, self._seq, None, fn, args)
+            cal = self._calendar
+            epoch = int(deadline / cal._width)
+            active = cal._active
+            pushed = False
+            if active is not None:
+                active_epoch = cal._active_epoch
+                if epoch == active_epoch:
+                    insort(active, entry, cal._cursor)
+                    pushed = True
+                elif epoch < active_epoch:
+                    if cal._cursor < len(active):
+                        cal._buckets[active_epoch] = active[cal._cursor:]
+                        heapq.heappush(cal._epochs, active_epoch)
+                    cal._active = None
+            if not pushed:
+                bucket = cal._buckets.get(epoch)
+                if bucket is None:
+                    cal._buckets[epoch] = [entry]
+                    heapq.heappush(cal._epochs, epoch)
+                else:
+                    bucket.append(entry)
+            cal._size += 1
+        else:
             raise SimulationError(f"cannot schedule in the past: {delay}")
-        heapq.heappush(
-            self._queue, (self._now + delay, self._seq, None, fn, args)
-        )
         self._seq += 1
-        if len(self._queue) > self._max_queue:
-            self._max_queue = len(self._queue)
+        depth = self._depth + 1
+        self._depth = depth
+        if depth > self._max_queue:
+            self._max_queue = depth
+
+    def post_group(self, delay: float, count: int, fn: Callable[..., None],
+                   *args: Any) -> None:
+        """Post one event standing in for ``count`` consecutive events.
+
+        Consumes ``count`` sequence numbers but enqueues a single entry
+        carrying the *first* of them.  Because the reserved numbers are
+        consecutive, no other event can tie-break between the grouped
+        members, so firing ``fn`` once in place of ``count`` back-to-back
+        same-deadline events is observationally identical — provided the
+        callback credits the skipped events via
+        :meth:`count_extra_events` (the network's grouped multicast
+        delivery does).  Exists for batched fan-out; everything else
+        should use :meth:`post`.
+        """
+        if count < 1:
+            raise SimulationError(f"group must cover >= 1 event: {count}")
+        entry = (self._now + delay, self._seq, None, fn, args)
+        if delay == 0.0:
+            self._lane.append(entry)
+        elif delay > 0:
+            self._calendar.push(entry)
+        else:
+            raise SimulationError(f"cannot schedule in the past: {delay}")
+        self._seq += count
+        depth = self._depth + 1
+        self._depth = depth
+        if depth > self._max_queue:
+            self._max_queue = depth
 
     def schedule_at(self, when: float, fn: Callable[..., None],
                     *args: Any) -> Timer:
         """Schedule ``fn(*args)`` at absolute virtual time ``when``."""
         return self.schedule(when - self._now, fn, *args)
+
+    def _next_entry(self) -> Optional[tuple]:
+        """Select (and remove) the next event in (deadline, seq) order.
+
+        The lane only ever holds current-instant events, so the calendar
+        head wins only when it shares that deadline with a *smaller*
+        sequence number (it was scheduled before the lane entry, with a
+        then-positive delay that the clock has since caught up with).
+        """
+        lane = self._lane
+        if not lane:
+            return self._calendar.pop()
+        head = self._calendar.peek()
+        lane_entry = lane[0]
+        if head is not None and (head[0] < lane_entry[0]
+                                 or (head[0] == lane_entry[0]
+                                     and head[1] < lane_entry[1])):
+            self._calendar.advance()
+            return head
+        lane.popleft()
+        return lane_entry
 
     def run(self, until: Optional[float] = None,
             max_events: Optional[int] = None) -> None:
@@ -160,21 +380,77 @@ class Simulation:
         ``max_events`` bounds the number of fired events, guarding tests
         against accidental infinite message loops.
         """
-        queue = self._queue
-        pop = heapq.heappop
+        lane = self._lane
+        calendar = self._calendar
         fired = 0
-        while queue:
-            entry = queue[0]
-            deadline = entry[0]
-            if until is not None and deadline > until:
-                self._now = until
-                return
-            pop(queue)
+        # The loop allocates heavily (queue entries, messages) but keeps
+        # almost nothing cyclic alive; generational GC passes are pure
+        # overhead at paper-scale event counts.  Host-side only — the
+        # simulated schedule is unaffected.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            self._run_loop(lane, calendar, fired, until, max_events)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    def _run_loop(self, lane, calendar, fired, until, max_events):
+        # One float compare per event instead of a None test plus a
+        # compare; +inf never stops the clock.
+        until_f = float("inf") if until is None else until
+        while True:
+            # Inline next-event selection: the lane head (always at the
+            # current instant) wins unless the calendar head is earlier,
+            # or tied with a smaller sequence number.  The calendar's
+            # peek/advance fast paths (active bucket, cursor not at the
+            # end) are inlined too — two attribute reads instead of two
+            # method calls per event at paper-scale rates.
+            if lane:
+                entry = lane[0]
+                active = calendar._active
+                cursor = calendar._cursor
+                if active is not None and cursor < len(active):
+                    head = active[cursor]
+                else:
+                    head = calendar.peek()
+                    cursor = calendar._cursor
+                if head is not None and (head[0] < entry[0]
+                                         or (head[0] == entry[0]
+                                             and head[1] < entry[1])):
+                    entry = head
+                    if entry[0] > until_f:
+                        self._now = until
+                        return
+                    calendar._cursor = cursor + 1
+                    calendar._size -= 1
+                else:
+                    if entry[0] > until_f:
+                        self._now = until
+                        return
+                    lane.popleft()
+            else:
+                active = calendar._active
+                cursor = calendar._cursor
+                if active is not None and cursor < len(active):
+                    entry = active[cursor]
+                else:
+                    entry = calendar.peek()
+                    cursor = calendar._cursor
+                    if entry is None:
+                        break
+                if entry[0] > until_f:
+                    self._now = until
+                    return
+                calendar._cursor = cursor + 1
+                calendar._size -= 1
+            deadline, _seq, timer, fn, args = entry
             self._now = deadline
+            self._depth -= 1
             self._events_processed += 1
-            timer = entry[2]
             if timer is None:
-                entry[3](*entry[4])
+                fn(*args)
             else:
                 timer._fire()
                 if timer.cancelled:
@@ -187,9 +463,13 @@ class Simulation:
 
     def step(self) -> bool:
         """Fire exactly one queued event.  Returns ``False`` if idle."""
-        while self._queue:
-            deadline, _seq, timer, fn, args = heapq.heappop(self._queue)
+        while True:
+            entry = self._next_entry()
+            if entry is None:
+                return False
+            deadline, _seq, timer, fn, args = entry
             self._now = deadline
+            self._depth -= 1
             self._events_processed += 1
             if timer is None:
                 fn(*args)
@@ -198,4 +478,3 @@ class Simulation:
                 continue
             timer._fire()
             return True
-        return False

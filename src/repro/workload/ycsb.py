@@ -67,8 +67,13 @@ class YcsbWorkload:
             txn_id = f"t{self._counter}"
         key = self._keys.next()
         if self._rng.random() < self._write_fraction:
-            return Transaction(txn_id, "update", key, self._next_value())
-        return Transaction(txn_id, "read", key)
+            txn = Transaction(txn_id, "update", key, self._next_value())
+        else:
+            txn = Transaction(txn_id, "read", key)
+        # Workload-rate minting: cache the canonical bytes now, in one
+        # interpolation, instead of via the encoder's dispatch loop the
+        # first time a batch digest touches the transaction.
+        return txn.prime_encoding()
 
     def next_batch(self, size: int, prefix: str = "") -> Batch:
         """Generate a batch of ``size`` transactions.

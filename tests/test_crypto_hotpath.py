@@ -128,10 +128,11 @@ class TestCachedEncoding:
         batch = (Transaction("t1", "update", 1, "v"),)
         request = _request(batch, batch_id="original")
         original_digest = request.payload_digest()
-        assert "_encoded_cache" in request.__dict__
+        assert hasattr(request, "_encoded_cache")
         mutated = dataclasses.replace(request, batch_id="mutated")
-        # The reconstructed instance starts cold...
-        assert "_encoded_cache" not in mutated.__dict__
+        # The reconstructed instance starts cold (the cache lives in a
+        # slot, not __dict__, so hasattr is the right probe).
+        assert not hasattr(mutated, "_encoded_cache")
         # ...and its digest reflects the new content.
         assert mutated.payload_digest() != original_digest
         identical = dataclasses.replace(request)

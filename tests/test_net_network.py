@@ -250,3 +250,103 @@ class TestSharedWanEgress:
         # Shared pipe: the backlog shows for any remote region.
         assert net.uplink_backlog(src.node_id, "c") == pytest.approx(2.0)
         assert net.uplink_backlog(src.node_id, "a") == 0.0
+
+
+class TestMulticastFastPath:
+    """The batched multicast path must be observationally identical to a
+    loop of per-destination sends — same delivery times, same uplink
+    accounting, same event count, same observer totals."""
+
+    def _fresh(self, wan):
+        sim = Simulation()
+        net = Network(sim, wan)
+        src = FakeNode(replica_id(1, 1), "west")
+        local = FakeNode(replica_id(1, 2), "west")
+        b = FakeNode(replica_id(2, 1), "east")
+        c = FakeNode(replica_id(2, 2), "east")
+        for node in (src, local, b, c):
+            net.register(node)
+        return sim, net, src, local, b, c
+
+    def test_duplicate_destinations_deduplicated(self, wan):
+        sim, net, src, _local, b, c = self._fresh(wan)
+        message = FakeMessage(size=1_000_000)
+        net.multicast(src.node_id,
+                      [b.node_id, b.node_id, c.node_id, b.node_id],
+                      message)
+        # One serialization per *distinct* destination: 2 MB on the WAN
+        # egress, not 4 MB.
+        assert net.uplink_backlog(src.node_id, "east") == pytest.approx(2.0)
+        sim.run()
+        assert len(b.received) == 1
+        assert len(c.received) == 1
+
+    def test_matches_unicast_sends_exactly(self, wan):
+        message = FakeMessage(size=500_000)
+
+        sim_m, net_m, src_m, local_m, b_m, c_m = self._fresh(wan)
+        net_m.multicast(src_m.node_id,
+                        [local_m.node_id, b_m.node_id, c_m.node_id], message)
+        backlog_m = (net_m.uplink_backlog(src_m.node_id, "west"),
+                     net_m.uplink_backlog(src_m.node_id, "east"))
+        sim_m.run()
+
+        sim_u, net_u, src_u, local_u, b_u, c_u = self._fresh(wan)
+        for dst in (local_u, b_u, c_u):
+            net_u.send(src_u.node_id, dst.node_id, message)
+        backlog_u = (net_u.uplink_backlog(src_u.node_id, "west"),
+                     net_u.uplink_backlog(src_u.node_id, "east"))
+        sim_u.run()
+
+        assert backlog_m == backlog_u
+        assert sim_m.now == sim_u.now
+        assert sim_m.events_processed == sim_u.events_processed
+        for got, want in ((local_m, local_u), (b_m, b_u), (c_m, c_u)):
+            assert len(got.received) == len(want.received) == 1
+
+    def test_group_observer_sees_same_totals(self, wan):
+        message = FakeMessage(size=2_000)
+        per_send = []
+        groups = []
+
+        sim, net, src, local, b, c = self._fresh(wan)
+        net.add_observer(
+            lambda s, d, m, size, is_local:
+                per_send.append((s, d, size, is_local)),
+            lambda s, dsts, m, size, is_local:
+                groups.append((s, tuple(dsts), size, is_local)))
+        net.multicast(src.node_id,
+                      [local.node_id, b.node_id, c.node_id], message)
+        sim.run()
+
+        # The sole observer's batched hook replaces per-send calls…
+        assert per_send == []
+        assert sorted(groups, key=lambda g: not g[3]) == [
+            (src.node_id, (local.node_id,), 2_000, True),
+            (src.node_id, (b.node_id, c.node_id), 2_000, False),
+        ]
+        # …and the grouped totals equal the per-destination totals.
+        total_bytes = sum(size * len(dsts) for _, dsts, size, _ in groups)
+        assert total_bytes == 3 * 2_000
+
+    def test_second_observer_disables_group_path(self, wan):
+        message = FakeMessage(size=2_000)
+        first = []
+        second = []
+        groups = []
+
+        sim, net, src, local, b, c = self._fresh(wan)
+        net.add_observer(
+            lambda s, d, m, size, is_local: first.append(d),
+            lambda s, dsts, m, size, is_local: groups.append(tuple(dsts)))
+        net.add_observer(lambda s, d, m, size, is_local: second.append(d))
+        net.multicast(src.node_id,
+                      [local.node_id, b.node_id, c.node_id], message)
+        sim.run()
+
+        # Both observers see the identical per-destination stream; the
+        # batched hook is retired the moment it stops being sole.
+        assert groups == []
+        assert first == second
+        assert sorted(first) == sorted(
+            [local.node_id, b.node_id, c.node_id])

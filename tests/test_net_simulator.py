@@ -175,3 +175,138 @@ class TestDeterminism:
 
     def test_rng_is_seeded(self):
         assert Simulation(seed=7).rng.random() == Simulation(seed=7).rng.random()
+
+
+class TestQueueDepthTelemetry:
+    def test_max_queue_depth_high_water_mark(self):
+        sim = Simulation()
+        assert sim.max_queue_depth == 0
+        for i in range(5):
+            sim.post(1.0 + i, lambda: None)
+        sim.schedule(6.0, lambda: None)
+        sim.post(0.0, lambda: None)
+        assert sim.max_queue_depth == 7
+        sim.run()
+        # Draining does not lower the high-water mark…
+        assert sim.pending_events == 0
+        assert sim.max_queue_depth == 7
+        # …and later pushes only raise it past the old peak.
+        sim.post(1.0, lambda: None)
+        assert sim.max_queue_depth == 7
+
+    def test_max_queue_depth_tracks_nested_posts(self):
+        sim = Simulation()
+
+        def fan_out():
+            for _ in range(9):
+                sim.post(0.5, lambda: None)
+
+        sim.post(1.0, fan_out)
+        assert sim.max_queue_depth == 1
+        sim.run()
+        # One event in flight plus nine children queued at once — the
+        # consumed parent no longer counts toward the depth.
+        assert sim.max_queue_depth == 9
+
+    def test_step_decrements_depth(self):
+        sim = Simulation()
+        sim.post(1.0, lambda: None)
+        sim.post(2.0, lambda: None)
+        assert sim.max_queue_depth == 2
+        sim.step()
+        sim.post(3.0, lambda: None)
+        # 2 pending again, never 3 at once.
+        assert sim.max_queue_depth == 2
+
+
+class TestGroupedEvents:
+    def test_post_group_credits_skipped_events(self):
+        """A grouped event plus count_extra_events reproduces the
+        events_processed count of the ungrouped schedule exactly."""
+        plain = Simulation()
+        for _ in range(4):
+            plain.post(1.0, lambda: None)
+        plain.run()
+
+        grouped = Simulation()
+        grouped.post_group(1.0, 4, grouped.count_extra_events, 3)
+        grouped.run()
+
+        assert plain.events_processed == grouped.events_processed == 4
+
+    def test_post_group_reserves_sequence_numbers(self):
+        """Events posted after a group sort after all of its members."""
+        order = []
+        sim = Simulation()
+        sim.post_group(1.0, 3, order.append, "group")
+        sim.post(1.0, order.append, "after")
+        sim.run()
+        assert order == ["group", "after"]
+        # The group consumed 3 sequence numbers + 1 for "after".
+        assert sim._seq == 4
+
+    def test_post_group_rejects_empty_group(self):
+        sim = Simulation()
+        with pytest.raises(SimulationError):
+            sim.post_group(1.0, 0, lambda: None)
+
+
+class TestLaneCalendarInterleaving:
+    def test_calendar_tie_beats_younger_lane_entry(self):
+        """At equal deadlines, a calendar event scheduled *earlier*
+        (smaller seq) fires before a zero-delay event posted later."""
+        order = []
+        sim = Simulation()
+
+        def at_one():
+            order.append("first")
+            # Lane entry minted at t=1.0 (large seq)…
+            sim.post(0.0, order.append, "lane")
+
+        sim.post(1.0, at_one)
+        # …while this calendar entry (seq 1) also lands at t=1.0.
+        sim.post(1.0, order.append, "calendar")
+        sim.run()
+        assert order == ["first", "calendar", "lane"]
+
+    def test_lane_drains_before_time_advances(self):
+        times = []
+        sim = Simulation()
+
+        def chain(depth):
+            times.append((sim.now, depth))
+            if depth:
+                sim.post(0.0, chain, depth - 1)
+
+        sim.post(1.0, chain, 3)
+        sim.post(2.0, times.append, "late")
+        sim.run()
+        assert times == [(1.0, 3), (1.0, 2), (1.0, 1), (1.0, 0), "late"]
+
+    def test_run_until_holds_lane_and_calendar(self):
+        fired = []
+        sim = Simulation()
+        sim.post(2.0, fired.append, "cal")
+        sim.run(until=1.0)
+
+        def post_zero():
+            sim.post(0.0, fired.append, "lane")
+
+        sim.schedule_at(1.5, post_zero)
+        sim.run(until=1.2)
+        assert fired == [] and sim.now == 1.2
+        sim.run()
+        assert fired == ["lane", "cal"]
+
+    def test_cancelled_zero_delay_timer_is_a_lane_noop(self):
+        fired = []
+        sim = Simulation()
+        timer = sim.schedule(0.0, fired.append, "x")
+        sim.schedule(0.0, fired.append, "y")
+        timer.cancel()
+        sim.run()
+        assert fired == ["y"]
+        assert timer.cancelled and not timer.fired
+        # Cancelling again after the queue drained stays a no-op.
+        timer.cancel()
+        assert not timer.fired
