@@ -292,6 +292,31 @@ def _cmd_table2(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    """``repro lint``: exit 0 on a clean tree, 1 on findings."""
+    import json
+
+    from .lint import default_rules, run_lint
+    from .lint.rules import iter_rule_docs
+
+    if args.list_rules:
+        for doc in iter_rule_docs():
+            print(f"{doc['id']}: {doc['summary']}")
+        return 0
+    paths = args.paths
+    if not paths:
+        # Default target: the installed package's own source tree, so
+        # ``repro lint`` self-checks from any working directory.
+        paths = [os.path.dirname(os.path.abspath(__file__))]
+    rules = default_rules(args.rules) if args.rules else None
+    report = run_lint(paths, rules=rules)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.format_text())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -350,6 +375,23 @@ def build_parser() -> argparse.ArgumentParser:
     table2_parser.add_argument("--clusters", "-z", type=int, default=4)
     table2_parser.add_argument("--replicas", "-n", type=int, default=7)
     table2_parser.set_defaults(handler=_cmd_table2)
+
+    lint_parser = commands.add_parser(
+        "lint", help="run the determinism/protocol static-analysis "
+                     "rules (see docs/static_analysis.md)")
+    lint_parser.add_argument("paths", nargs="*", metavar="PATH",
+                             help="files or directories to lint "
+                                  "(default: the installed repro "
+                                  "package source)")
+    lint_parser.add_argument("--json", action="store_true",
+                             help="emit the machine-readable report "
+                                  "(schema version 1)")
+    lint_parser.add_argument("--rule", action="append", default=None,
+                             metavar="RULE-ID", dest="rules",
+                             help="run only this rule (repeatable)")
+    lint_parser.add_argument("--list-rules", action="store_true",
+                             help="print the rule catalogue and exit")
+    lint_parser.set_defaults(handler=_cmd_lint)
     return parser
 
 

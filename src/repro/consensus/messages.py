@@ -19,13 +19,24 @@ transport layer in :mod:`repro.consensus.replica`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Iterable, Optional, Tuple, TypeVar
 
 from ..crypto.digests import CachedEncodable
 from ..crypto.signatures import Signature
 from ..errors import InvalidCertificateError
 from ..ledger.block import Batch, batch_digest
 from ..types import ClusterId, NodeId, RoundId, SeqNum, ViewId
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..crypto.signatures import KeyRegistry
+    from ..crypto.threshold import (
+        SignatureShare,
+        ThresholdScheme,
+        ThresholdSignature,
+    )
+
+#: adopt_encoding returns its first argument unchanged (fluent use).
+_M = TypeVar("_M", bound=CachedEncodable)
 
 # ---------------------------------------------------------------------------
 # Wire-size constants (calibrated to paper §4 at batch size 100).
@@ -255,7 +266,8 @@ class CommitCertificate(CachedEncodable):
         and hashed into every block that carries them)."""
         return self.payload_digest()
 
-    def verify(self, registry, quorum: int, members=None) -> None:
+    def verify(self, registry: "KeyRegistry", quorum: int,
+               members: Optional[Iterable[NodeId]] = None) -> None:
         """Validate structure and signatures.
 
         Checks: at least ``quorum`` commits, all from distinct replicas
@@ -315,7 +327,7 @@ class CommitCertificate(CachedEncodable):
             object.__setattr__(self, "_verified_quorum", len(signers))
 
 
-def adopt_encoding(signed, template):
+def adopt_encoding(signed: _M, template: CachedEncodable) -> _M:
     """Carry a template's cached canonical encoding onto its signed copy.
 
     The sign-then-rebuild pattern (``m = T(..., None)`` then
@@ -366,6 +378,8 @@ class Checkpoint(CachedEncodable):
 class PreparedEntry(CachedEncodable):
     """A slot a replica claims prepared, carried inside view changes."""
 
+    __slots__ = ("view", "seq", "digest", "request")
+
     view: ViewId
     seq: SeqNum
     digest: bytes
@@ -381,6 +395,9 @@ class PreparedEntry(CachedEncodable):
 @dataclass(frozen=True)
 class ViewChange(CachedEncodable):
     """Vote to replace the primary with that of ``new_view`` (§2.2)."""
+
+    __slots__ = ("cluster_id", "new_view", "last_stable_seq", "prepared",
+                 "replica", "signature")
 
     cluster_id: ClusterId
     new_view: ViewId
@@ -408,6 +425,9 @@ class ViewChange(CachedEncodable):
 @dataclass(frozen=True)
 class NewView(CachedEncodable):
     """New primary's installation message for ``new_view``."""
+
+    __slots__ = ("cluster_id", "new_view", "view_change_replicas",
+                 "preprepares", "replica")
 
     cluster_id: ClusterId
     new_view: ViewId
@@ -440,12 +460,16 @@ class GlobalShare(CachedEncodable):
     sent by a primary to ``f + 1`` replicas of each remote cluster, then
     re-broadcast locally (Figure 5)."""
 
+    __slots__ = ("round_id", "cluster_id", "certificate", "forwarded")
+
     round_id: RoundId
     cluster_id: ClusterId
     certificate: CommitCertificate
     #: True while crossing clusters, False for the local re-broadcast —
-    #: only used by metrics to classify traffic.
-    forwarded: bool = False
+    #: only used by metrics to classify traffic.  No default: __slots__
+    #: on a frozen dataclass forbids class-body defaults, so callers
+    #: state the direction explicitly.
+    forwarded: bool
 
     def payload(self) -> tuple:
         return (
@@ -463,6 +487,8 @@ class GlobalShare(CachedEncodable):
 class Drvc(CachedEncodable):
     """"Detect remote view change": local agreement that a remote cluster
     failed to send its round-``rho`` share (Figure 7, initiation role)."""
+
+    __slots__ = ("target_cluster", "round_id", "vc_count", "replica")
 
     target_cluster: ClusterId
     round_id: RoundId
@@ -486,6 +512,9 @@ class Drvc(CachedEncodable):
 class Rvc(CachedEncodable):
     """Signed remote view-change request sent across clusters; forwarded
     inside the target cluster, hence signed (Figure 7)."""
+
+    __slots__ = ("target_cluster", "round_id", "vc_count", "replica",
+                 "signature")
 
     target_cluster: ClusterId
     round_id: RoundId
@@ -727,11 +756,15 @@ class StewardGlobalOrder(CachedEncodable):
     """The primary cluster's globally ordered assignment, disseminated to
     every site (then locally broadcast)."""
 
+    __slots__ = ("global_seq", "origin_cluster", "request", "certificate",
+                 "forwarded")
+
     global_seq: SeqNum
     origin_cluster: ClusterId
     request: ClientRequestBatch
     certificate: CommitCertificate
-    forwarded: bool = False
+    #: True once forwarded across sites (see GlobalShare.forwarded).
+    forwarded: bool
 
     def payload(self) -> tuple:
         return (
@@ -757,6 +790,8 @@ class FetchDecision(CachedEncodable):
     via state transfer; here the commit certificate lets the decision
     itself be transferred Byzantine-safely)."""
 
+    __slots__ = ("cluster_id", "seq", "replica")
+
     cluster_id: ClusterId
     seq: SeqNum
     replica: NodeId
@@ -775,6 +810,8 @@ class DecisionTransfer(CachedEncodable):
 
     The embedded commit certificate proves authenticity, so the laggard
     can accept it from any single peer."""
+
+    __slots__ = ("cluster_id", "seq", "request", "certificate")
 
     cluster_id: ClusterId
     seq: SeqNum
@@ -800,11 +837,13 @@ class CertShare(CachedEncodable):
     deciding a round; the primary combines ``n - f`` of them into a
     constant-size :class:`ThresholdCommitCertificate`."""
 
+    __slots__ = ("cluster_id", "round_id", "digest", "replica", "share")
+
     cluster_id: ClusterId
     round_id: RoundId
     digest: bytes
     replica: NodeId
-    share: object  # repro.crypto.threshold.SignatureShare
+    share: "SignatureShare"
 
     def payload(self) -> tuple:
         return ("certshare", self.cluster_id, self.round_id, self.digest,
@@ -830,11 +869,14 @@ class ThresholdCommitCertificate(CachedEncodable):
     Drop-in alternative to :class:`CommitCertificate` for inter-cluster
     sharing: its size is independent of ``f``."""
 
+    __slots__ = ("cluster_id", "round_id", "view", "request", "signature",
+                 "_verified_scheme")
+
     cluster_id: ClusterId
     round_id: RoundId
     view: ViewId
     request: ClientRequestBatch
-    signature: object  # repro.crypto.threshold.ThresholdSignature
+    signature: "ThresholdSignature"
 
     def payload(self) -> tuple:
         return (
@@ -854,7 +896,7 @@ class ThresholdCommitCertificate(CachedEncodable):
         """Digest of the certificate (cached, as for the classic form)."""
         return self.payload_digest()
 
-    def verify_threshold(self, scheme) -> None:
+    def verify_threshold(self, scheme: "ThresholdScheme") -> None:
         """Validate against the cluster's threshold scheme.
 
         Raises :class:`InvalidCertificateError` on mismatch.  A

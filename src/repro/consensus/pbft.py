@@ -435,8 +435,6 @@ class PbftEngine:
                 adopt_encoding(signed, commit)
                 self._owner.broadcast(self._members, signed)
             return
-        if msg.seq >= self._next_seq:
-            self._next_seq = msg.seq + 1
         slot = self._slot(msg.seq)
         if slot.preprepare is not None and slot.digest != msg.digest:
             return  # equivocation: keep the first, let view change handle it
@@ -448,6 +446,10 @@ class PbftEngine:
                 return
             slot.preprepare = msg
             slot.set_digest(msg.digest)
+            # The sequence window advances only for verified proposals;
+            # an invalid pre-prepare must leave no trace in slot state.
+            if msg.seq >= self._next_seq:
+                self._next_seq = msg.seq + 1
             self._seen_batch_ids.add(msg.request.batch_id)
             self._awaiting_order.discard(msg.request.batch_id)
             self._pending_requests.pop(msg.request.batch_id, None)
@@ -661,7 +663,10 @@ class PbftEngine:
         if msg.cluster_id != self._cluster_id:
             return
         if msg.seq in self._decided or msg.seq <= self._delivered_upto:
-            self._fetching.discard(msg.seq)
+            # Clearing the fetch marker is driven purely by *local*
+            # state (the slot is already decided here), not by trusting
+            # anything this unverified message claims.
+            self._fetching.discard(msg.seq)  # repro: allow[verify-before-mutate] guarded by local decided-state only
             return
         certificate = msg.certificate
         if (certificate.cluster_id != self._cluster_id

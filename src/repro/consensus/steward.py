@@ -206,7 +206,7 @@ class StewardReplica(BaseReplica):
     def _disseminate(self, gseq: SeqNum, request: ClientRequestBatch,
                      certificate: CommitCertificate) -> None:
         order = StewardGlobalOrder(gseq, self._own_cluster, request,
-                                   certificate)
+                                   certificate, forwarded=False)
         for cluster, members in self._clusters.items():
             if cluster == self._primary_cluster:
                 continue

@@ -41,7 +41,11 @@ from ..consensus.messages import (
 )
 from ..consensus.pbft import PbftEngine, engine_verification_cost
 from ..consensus.replica import BaseReplica
-from ..errors import ConfigurationError, InvalidCertificateError
+from ..errors import (
+    ConfigurationError,
+    CryptoError,
+    InvalidCertificateError,
+)
 from ..types import ClusterId, NodeId, RoundId, SeqNum, max_faulty
 from .config import SHARING_ALL, SHARING_SINGLE, GeoBftConfig
 from .ordering import OrderingBuffer
@@ -325,8 +329,11 @@ class GeoBftReplica(BaseReplica):
         self.charge_cpu(self.costs.threshold_combine)
         try:
             signature = scheme.combine(shares, statement)
-        except Exception:
-            return  # bogus shares cannot prevent the classic fallback
+        except CryptoError:
+            # A Byzantine replica contributed a bogus share; combining
+            # fails loudly in the crypto layer, and the classic
+            # (certificate-vector) fallback still disseminates the round.
+            return
         self._combined.add(msg.round_id)
         self._cert_shares.pop(msg.round_id, None)
         compact = ThresholdCommitCertificate(

@@ -54,7 +54,7 @@ class EncodingCacheStats:
     __slots__ = ("encode_hits", "encode_misses", "digest_hits",
                  "digest_misses", "splice_hits", "splice_misses")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.reset()
 
     def reset(self) -> None:
@@ -108,6 +108,23 @@ class CachedEncodable:
     __slots__ = ("_encoded_cache", "_payload_digest_cache", "_size_cache",
                  "_digest_cache")
 
+    # Bare annotations for the slot attributes (no assignments — a
+    # class-body value would conflict with __slots__): they give type
+    # checkers the cache types without creating dataclass fields in the
+    # frozen subclasses.
+    _encoded_cache: bytes
+    _payload_digest_cache: bytes
+    _size_cache: int
+    _digest_cache: bytes
+
+    def payload(self) -> tuple:
+        """The canonical primitive tree this object encodes.
+
+        Subclasses (the message dataclasses) implement this; the mixin
+        only consumes it.
+        """
+        raise NotImplementedError
+
     def encoded(self) -> bytes:
         """Canonical byte encoding of ``payload()``, computed once."""
         try:
@@ -145,7 +162,7 @@ class _CacheMark:
 
     __slots__ = ("obj", "start")
 
-    def __init__(self, obj: Any, start: int):
+    def __init__(self, obj: Any, start: int) -> None:
         self.obj = obj
         self.start = start
 
@@ -155,7 +172,7 @@ class _Emit:
 
     __slots__ = ("data",)
 
-    def __init__(self, data: bytes):
+    def __init__(self, data: bytes) -> None:
         self.data = data
 
 

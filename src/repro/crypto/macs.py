@@ -54,7 +54,7 @@ class MacAuthenticator:
         node: NodeId,
         domain: bytes = b"resilientdb-mac",
         cache: Optional[VerificationCache] = None,
-    ):
+    ) -> None:
         self._node = node
         self._domain = domain
         # Pairwise keys are pure functions of (domain, endpoints); memoize

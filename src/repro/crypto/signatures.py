@@ -58,7 +58,7 @@ class VerificationCache:
     __slots__ = ("_entries", "_max_entries", "hits", "misses",
                  "_kind_hits", "_kind_misses")
 
-    def __init__(self, max_entries: int = 1 << 20):
+    def __init__(self, max_entries: int = 1 << 20) -> None:
         self._entries: Dict[Tuple, bool] = {}
         self._max_entries = max_entries
         self.hits = 0
@@ -137,7 +137,7 @@ class Signer:
 
     __slots__ = ("_node", "_secret")
 
-    def __init__(self, node: NodeId, secret: bytes):
+    def __init__(self, node: NodeId, secret: bytes) -> None:
         self._node = node
         self._secret = secret
 
@@ -172,7 +172,7 @@ class KeyRegistry:
         self,
         seed: bytes = b"resilientdb",
         cache: Optional[VerificationCache] = None,
-    ):
+    ) -> None:
         self._seed = seed
         self._secrets: Dict[NodeId, bytes] = {}
         # One registry serves a whole deployment, so its cache is the

@@ -22,7 +22,7 @@ from __future__ import annotations
 import hashlib
 import hmac
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable
+from typing import Any, Callable, Dict, Iterable
 
 from ..errors import CryptoError
 from ..types import NodeId
@@ -61,7 +61,7 @@ class ThresholdScheme:
     """
 
     def __init__(self, group: str, members: Iterable[NodeId], k: int,
-                 seed: bytes = b"resilientdb-threshold"):
+                 seed: bytes = b"resilientdb-threshold") -> None:
         self._group = group
         self._members = list(members)
         if k < 1 or k > len(self._members):
@@ -86,7 +86,7 @@ class ThresholdScheme:
         """Number of shares required to combine."""
         return self._k
 
-    def share_signer(self, member: NodeId):
+    def share_signer(self, member: NodeId) -> Callable[[Any], SignatureShare]:
         """Return ``sign_share(payload) -> SignatureShare`` for ``member``.
 
         The returned closure captures the member's share key; it is the

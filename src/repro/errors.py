@@ -58,5 +58,17 @@ class SimulationError(ReproError):
     """The discrete-event simulator was driven incorrectly."""
 
 
+class MessageAliasingError(SimulationError):
+    """A message object was mutated between send and delivery.
+
+    Raised only under the runtime sanitizer (``REPRO_SANITIZE=1``), which
+    fingerprints every message at send time and re-checks it at each
+    delivery.  PBFT-family safety arguments assume all receivers of a
+    broadcast process *identical* messages; an aliased object mutated
+    after ``post()`` silently violates that in ways no static rule can
+    prove.
+    """
+
+
 class WorkloadError(ReproError):
     """A workload generator was configured or used incorrectly."""

@@ -1,0 +1,44 @@
+"""``repro lint`` — static analysis for the repo's determinism contracts.
+
+Every guarantee this reproduction makes — byte-identical
+``deployment_digest`` values across seeds and engine overhauls, GeoBFT
+safety under chaos timelines — rests on contracts that no unit test
+states explicitly: simulated code never reads the wall clock, all
+randomness flows through injected seeded generators, nothing unordered
+feeds the event queue, hot-path message classes stay slotted, and
+protocol handlers verify before they mutate.  This package turns those
+contracts into machine-checked rules, the way deterministic-simulation
+shops (FoundationDB and descendants) lint their sim code.
+
+Public surface:
+
+* :func:`run_lint` / :class:`LintReport` — run the rule engine over
+  files or directories and collect :class:`Finding` objects.
+* :data:`~repro.lint.rules.RULES` / :func:`default_rules` — the rule
+  catalogue (see ``docs/static_analysis.md``).
+* :data:`~repro.lint.allowlist.ALLOWLIST` — the committed allowlist of
+  justified exceptions.
+
+Suppressions: append ``# repro: allow[rule-id] <reason>`` to the
+flagged line (or put it on its own line directly above).  Allowlist
+entries live in :mod:`repro.lint.allowlist` and must carry a
+justification; an empty justification is a configuration error.
+"""
+
+from __future__ import annotations
+
+from .allowlist import ALLOWLIST, AllowlistEntry
+from .engine import Finding, LintReport, run_lint
+from .rules import RULES, Rule, default_rules, rule_ids
+
+__all__ = [
+    "ALLOWLIST",
+    "AllowlistEntry",
+    "Finding",
+    "LintReport",
+    "RULES",
+    "Rule",
+    "default_rules",
+    "rule_ids",
+    "run_lint",
+]

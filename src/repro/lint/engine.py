@@ -1,0 +1,276 @@
+"""The lint engine: file discovery, suppressions, allowlist, reporting.
+
+The engine is deliberately small: it parses each Python file once,
+computes the scope map (which class/function encloses each line), runs
+every rule's AST visitor over the tree, and then filters the raw
+findings through two escape hatches:
+
+* **inline suppressions** — ``# repro: allow[rule-id] reason`` on the
+  flagged line, or on a comment line directly above it;
+* **the committed allowlist** — :mod:`repro.lint.allowlist` entries that
+  name a rule, a file, and (optionally) the enclosing ``Class.method``
+  symbol, each with a mandatory justification.
+
+Findings are reported in a stable order (path, line, column, rule) so
+lint output is diffable and the ``--json`` schema is deterministic.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import ConfigurationError
+from .allowlist import ALLOWLIST, AllowlistEntry
+from .rules import Rule, default_rules
+
+#: Inline suppression syntax: ``# repro: allow[rule-id]`` or
+#: ``# repro: allow[rule-a, rule-b] optional free-text reason``.
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_\-, ]+)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    #: Qualified name of the enclosing scope (``Class.method``), or
+    #: ``"<module>"`` for module-level code.  Allowlist entries match on
+    #: this, so they survive line-number churn.
+    symbol: str = "<module>"
+
+    def format(self) -> str:
+        """``path:line:col: rule-id: message`` (editor-clickable)."""
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule}: {self.message}")
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "symbol": self.symbol,
+        }
+
+
+class FileContext:
+    """Everything a rule may need about the file under analysis."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module):
+        self.path = path
+        #: Normalized forward-slash path, used for module-scoped rules
+        #: (``ctx.module_is("repro/net/network.py")``) so scoping works
+        #: on every platform and from any checkout root.
+        self.norm_path = path.replace(os.sep, "/")
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self._scopes = _scope_spans(tree)
+
+    def module_is(self, *suffixes: str) -> bool:
+        """Whether this file is one of the named modules (by suffix)."""
+        return any(self.norm_path.endswith(suffix) for suffix in suffixes)
+
+    def symbol_at(self, line: int) -> str:
+        """Qualified name of the innermost scope containing ``line``."""
+        best = "<module>"
+        best_span = None
+        for start, end, qualname in self._scopes:
+            if start <= line <= end:
+                if best_span is None or (start, -end) > best_span:
+                    best = qualname
+                    best_span = (start, -end)
+        return best
+
+
+def _scope_spans(tree: ast.Module) -> List[Tuple[int, int, str]]:
+    """``(start_line, end_line, qualname)`` for every class/function."""
+    spans: List[Tuple[int, int, str]] = []
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+                qualname = f"{prefix}{child.name}"
+                end = getattr(child, "end_lineno", child.lineno)
+                spans.append((child.lineno, end or child.lineno, qualname))
+                visit(child, f"{qualname}.")
+            else:
+                visit(child, prefix)
+
+    visit(tree, "")
+    return spans
+
+
+def _suppressions(lines: Sequence[str]) -> Dict[int, Set[str]]:
+    """Per-line suppressed rule ids.
+
+    A trailing ``# repro: allow[...]`` suppresses findings on its own
+    line; a comment-only suppression line also covers the next line, so
+    long flagged statements can keep the annotation above them.
+    """
+    by_line: Dict[int, Set[str]] = {}
+    for idx, text in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        rules = {part.strip() for part in match.group(1).split(",")
+                 if part.strip()}
+        by_line.setdefault(idx, set()).update(rules)
+        if text.lstrip().startswith("#"):
+            by_line.setdefault(idx + 1, set()).update(rules)
+    return by_line
+
+
+def _allowlisted(finding: Finding, entries: Sequence[AllowlistEntry]) -> bool:
+    for entry in entries:
+        if entry.rule != finding.rule:
+            continue
+        if not finding.path.replace(os.sep, "/").endswith(entry.path):
+            continue
+        if entry.symbol is not None:
+            if (finding.symbol != entry.symbol
+                    and not finding.symbol.startswith(entry.symbol + ".")):
+                continue
+        return True
+    return False
+
+
+def _validate_allowlist(entries: Sequence[AllowlistEntry]) -> None:
+    for entry in entries:
+        if not entry.justification.strip():
+            raise ConfigurationError(
+                f"allowlist entry {entry.rule} @ {entry.path} has no "
+                "justification; every exception must explain itself"
+            )
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: Tuple[str, ...] = ()
+    #: Findings removed by inline suppressions or the allowlist (kept so
+    #: tooling can audit what the escape hatches are hiding).
+    waived: List[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> dict:
+        """The stable ``--json`` schema (version 1)."""
+        return {
+            "version": 1,
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "rules": list(self.rules_run),
+            "findings": [f.to_dict() for f in self.findings],
+            "waived": [f.to_dict() for f in self.waived],
+        }
+
+    def format_text(self) -> str:
+        out = [finding.format() for finding in self.findings]
+        summary = (f"{len(self.findings)} finding"
+                   f"{'s' if len(self.findings) != 1 else ''} "
+                   f"({len(self.waived)} waived) in "
+                   f"{self.files_checked} files")
+        out.append(summary)
+        return "\n".join(out)
+
+
+def discover_files(paths: Iterable[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs.sort()
+                dirs[:] = [d for d in dirs
+                           if d not in ("__pycache__", ".git")]
+                for name in sorted(names):
+                    if name.endswith(".py"):
+                        found.append(os.path.join(root, name))
+        elif path.endswith(".py") and os.path.isfile(path):
+            found.append(path)
+        else:
+            raise ConfigurationError(
+                f"lint target {path!r} is neither a directory nor a "
+                ".py file")
+    return sorted(dict.fromkeys(found))
+
+
+def lint_source(source: str, path: str = "<string>",
+                rules: Optional[Sequence[Rule]] = None,
+                allowlist: Optional[Sequence[AllowlistEntry]] = None,
+                ) -> LintReport:
+    """Lint one in-memory source blob (the unit-test entry point)."""
+    active = list(rules) if rules is not None else default_rules()
+    entries = ALLOWLIST if allowlist is None else list(allowlist)
+    _validate_allowlist(entries)
+    report = LintReport(rules_run=tuple(rule.id for rule in active))
+    _lint_one(source, path, active, entries, report)
+    report.files_checked = 1
+    _finish(report)
+    return report
+
+
+def run_lint(paths: Iterable[str],
+             rules: Optional[Sequence[Rule]] = None,
+             allowlist: Optional[Sequence[AllowlistEntry]] = None,
+             ) -> LintReport:
+    """Lint files and directories; returns a :class:`LintReport`."""
+    active = list(rules) if rules is not None else default_rules()
+    entries = ALLOWLIST if allowlist is None else list(allowlist)
+    _validate_allowlist(entries)
+    files = discover_files(paths)
+    report = LintReport(rules_run=tuple(rule.id for rule in active))
+    for file_path in files:
+        with open(file_path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        _lint_one(source, file_path, active, entries, report)
+    report.files_checked = len(files)
+    _finish(report)
+    return report
+
+
+def _lint_one(source: str, path: str, rules: Sequence[Rule],
+              allowlist: Sequence[AllowlistEntry],
+              report: LintReport) -> None:
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        report.findings.append(Finding(
+            rule="parse-error", path=path, line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            message=f"file does not parse: {exc.msg}"))
+        return
+    ctx = FileContext(path, source, tree)
+    suppressed = _suppressions(ctx.lines)
+    for rule in rules:
+        if not rule.applies_to(ctx):
+            continue
+        for finding in rule.run(ctx):
+            if finding.rule in suppressed.get(finding.line, ()):
+                report.waived.append(finding)
+            elif _allowlisted(finding, allowlist):
+                report.waived.append(finding)
+            else:
+                report.findings.append(finding)
+
+
+def _finish(report: LintReport) -> None:
+    key = lambda f: (f.path, f.line, f.col, f.rule)  # noqa: E731
+    report.findings.sort(key=key)
+    report.waived.sort(key=key)

@@ -39,6 +39,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Protocol, Tuple
 from ..errors import ConfigurationError
 from ..types import NodeId
 from .failures import FailureModel
+from .sanitizer import MessageSanitizer, sanitize_enabled
 from .simulator import Simulation
 from .topology import Topology
 
@@ -92,13 +93,30 @@ def _message_size(message: SizedMessage) -> int:
 
 
 class Network:
-    """Delivers messages between registered nodes with realistic timing."""
+    """Delivers messages between registered nodes with realistic timing.
+
+    ``sanitize`` arms the message-aliasing sanitizer (see
+    :mod:`repro.net.sanitizer`): ``True``/``False`` force it, ``None``
+    (the default) defers to the ``REPRO_SANITIZE=1`` environment
+    variable.  Sanitized runs fingerprint every message at post time and
+    re-verify at delivery; scheduling is unchanged, so deployment
+    digests match the unsanitized run byte-for-byte.
+    """
+
+    __slots__ = ("_sim", "_topology", "_failures", "_nodes",
+                 "_uplink_free_at", "_routes", "_local_keys", "_observers",
+                 "_notify", "_group_notify", "_sanitizer", "_sends",
+                 "_self_sends", "_suppressed_sends", "_in_flight_drops",
+                 "_receiver_drops", "_tampered_sends", "_delayed_sends")
 
     def __init__(self, sim: Simulation, topology: Topology,
-                 failures: Optional[FailureModel] = None):
+                 failures: Optional[FailureModel] = None,
+                 sanitize: Optional[bool] = None):
         self._sim = sim
         self._topology = topology
         self._failures = failures or FailureModel()
+        self._sanitizer: Optional[MessageSanitizer] = (
+            MessageSanitizer() if sanitize_enabled(sanitize) else None)
         self._nodes: Dict[NodeId, NetworkNode] = {}
         # (sender, destination region) -> time the uplink frees up.
         self._uplink_free_at: Dict[Tuple[NodeId, str], float] = {}
@@ -200,9 +218,14 @@ class Network:
         uplink time when the *sender* is suppressing the send, and full
         transmit time when the network or receiver loses it.
         """
+        sanitizer = self._sanitizer
         if src == dst:
             self._self_sends += 1
-            self._sim.post(0.0, self._deliver, src, dst, message)
+            if sanitizer is not None:
+                self._sim.post(0.0, self._deliver_checked, src, dst,
+                               message, sanitizer.fingerprint(message))
+            else:
+                self._sim.post(0.0, self._deliver, src, dst, message)
             return
         sender = self.node(src)
         receiver = self.node(dst)
@@ -248,7 +271,11 @@ class Network:
             self._in_flight_drops += 1
             return
         # Deliveries are never cancelled: use the allocation-free path.
-        self._sim.post(arrival_delay, self._deliver, src, dst, message)
+        if sanitizer is not None:
+            self._sim.post(arrival_delay, self._deliver_checked, src, dst,
+                           message, sanitizer.fingerprint(message))
+        else:
+            self._sim.post(arrival_delay, self._deliver, src, dst, message)
 
     def multicast(self, src: NodeId, dsts: Iterable[NodeId],
                   message: SizedMessage) -> None:
@@ -283,6 +310,12 @@ class Network:
         size = None
         notify = self._notify
         group_notify = self._group_notify
+        sanitizer = self._sanitizer
+        # One fingerprint covers the whole fan-out: every destination
+        # receives the same aliased object, so one send-time snapshot is
+        # the contract they all check against.
+        fingerprint = (sanitizer.fingerprint(message)
+                       if sanitizer is not None else None)
         local_dsts: list = []
         wan_dsts: list = []
         routes = self._routes.get(src)
@@ -302,7 +335,11 @@ class Network:
         for dst in dsts:
             if dst == src:
                 self._self_sends += 1
-                sim.post(0.0, self._deliver, src, dst, message)
+                if fingerprint is not None:
+                    sim.post(0.0, self._deliver_checked, src, dst,
+                             message, fingerprint)
+                else:
+                    sim.post(0.0, self._deliver, src, dst, message)
                 continue
             if size is None:
                 size = _message_size(message)
@@ -359,11 +396,20 @@ class Network:
             while j < count and deliveries[j][0] == delay:
                 j += 1
             if j == i + 1:
-                post(delay, self._deliver, src, dst, message)
+                if fingerprint is not None:
+                    post(delay, self._deliver_checked, src, dst, message,
+                         fingerprint)
+                else:
+                    post(delay, self._deliver, src, dst, message)
             else:
                 group = tuple(d for _, d in deliveries[i:j])
-                post_group(delay, len(group), self._deliver_group,
-                           src, group, message)
+                if fingerprint is not None:
+                    post_group(delay, len(group),
+                               self._deliver_group_checked, src, group,
+                               message, fingerprint)
+                else:
+                    post_group(delay, len(group), self._deliver_group,
+                               src, group, message)
             i = j
 
     def _deliver(self, src: NodeId, dst: NodeId, message) -> None:
@@ -377,6 +423,19 @@ class Network:
         node = self._nodes.get(dst)
         if node is not None:
             node.deliver(message, src)
+
+    def _deliver_checked(self, src: NodeId, dst: NodeId, message,
+                         fingerprint: bytes) -> None:
+        """Sanitized delivery: re-verify the send-time fingerprint first."""
+        self._sanitizer.check(message, fingerprint, src)
+        self._deliver(src, dst, message)
+
+    def _deliver_group_checked(self, src: NodeId, dsts: Tuple[NodeId, ...],
+                               message, fingerprint: bytes) -> None:
+        """Sanitized grouped delivery: one check covers the whole group
+        (they fire at the same instant on the same aliased object)."""
+        self._sanitizer.check(message, fingerprint, src)
+        self._deliver_group(src, dsts, message)
 
     def _deliver_group(self, src: NodeId, dsts: Tuple[NodeId, ...],
                        message) -> None:
@@ -393,8 +452,12 @@ class Network:
             deliver(src, dst, message)
 
     def telemetry(self) -> Dict[str, int]:
-        """Send/drop counters (observability only)."""
-        return {
+        """Send/drop counters (observability only).
+
+        ``sanitizer_checks`` appears only on sanitized networks, so the
+        default schema is unchanged when the sanitizer is off.
+        """
+        counters = {
             "sends": self._sends,
             "self_sends": self._self_sends,
             "suppressed_sends": self._suppressed_sends,
@@ -403,6 +466,9 @@ class Network:
             "tampered_sends": self._tampered_sends,
             "delayed_sends": self._delayed_sends,
         }
+        if self._sanitizer is not None:
+            counters["sanitizer_checks"] = self._sanitizer.checks
+        return counters
 
     def uplink_backlog(self, src: NodeId, dst_region: str) -> float:
         """Seconds of queued transmit time on one uplink (diagnostics).

@@ -196,6 +196,9 @@ class Simulation:
         sim.run(until=10.0)
     """
 
+    __slots__ = ("_now", "_seq", "_calendar", "_lane", "_events_processed",
+                 "_depth", "_max_queue", "rng")
+
     def __init__(self, seed: int = 0):
         self._now = 0.0
         self._seq = 0

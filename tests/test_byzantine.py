@@ -111,7 +111,7 @@ class TestImpersonation:
         )
         forged = CommitCertificate(1, 7777, certificate.view, evil,
                                    certificate.commits)
-        receiver._on_global_share(GlobalShare(7777, 1, forged),
+        receiver._on_global_share(GlobalShare(7777, 1, forged, forwarded=False),
                                   sender.node_id)
         assert not receiver.ordering.has_share(7777, 1)
 

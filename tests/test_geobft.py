@@ -239,7 +239,7 @@ class TestShareValidation:
         )
         before = receiver.ordering.has_share(999, 1)
         receiver._on_global_share(
-            GlobalShare(999, 1, forged_cert), sender.node_id
+            GlobalShare(999, 1, forged_cert, forwarded=False), sender.node_id
         )
         assert before is False
         assert receiver.ordering.has_share(999, 1) is False

@@ -139,6 +139,6 @@ class TestThresholdCertificates:
         forged = ThresholdCommitCertificate(
             1, 999, 0, request, ThresholdSignature("cluster-1", b"\x00" * 32),
         )
-        receiver._on_global_share(GlobalShare(999, 1, forged),
+        receiver._on_global_share(GlobalShare(999, 1, forged, forwarded=False),
                                   sender.node_id)
         assert not receiver.ordering.has_share(999, 1)

@@ -98,7 +98,7 @@ class TestPaperSizes:
     def test_global_share_sized_by_certificate(self):
         registry = KeyRegistry()
         cert = make_certificate(registry)
-        share = GlobalShare(1, 1, cert)
+        share = GlobalShare(1, 1, cert, forwarded=False)
         assert share.size_bytes() == cert.size_bytes() + 50
 
     def test_hotstuff_qc_linear_in_signatures(self):
