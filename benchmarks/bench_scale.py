@@ -3,9 +3,16 @@
 The paper's headline figures run 60–91 replicas across six regions;
 this benchmark tracks how fast the *simulation engine* reproduces such
 deployments on the host.  It sweeps total replica counts
-n ∈ {16, 32, 64, 91} (GeoBFT, saturated clients, batch 100) and writes
+n ∈ {16, 32, 64, 91, 256} (GeoBFT, saturated clients, batch 100), each
+point through both engines (``--workers 1,2``: serial, then the
+per-cluster worker processes of ``repro.bench.parallel``), and writes
 ``BENCH_scale.json`` — the repo's perf trajectory file.  The committed
 copy is the baseline the CI ``perf-smoke`` job compares against.
+Parallel points double as a paper-scale parity gate: every workers
+value at a given n must land on the same ``deployment_digest``, and
+any divergence fails the run.  Wall-time speedup from the parallel
+points requires a multi-core host (the ``host.cpus`` field records
+what the committed numbers were measured on).
 
 Three guards per point:
 
@@ -35,6 +42,7 @@ intentional perf change.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import os
 import sys
@@ -48,9 +56,11 @@ except ImportError:  # running from a source checkout without install
     sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
     from repro.bench.deployment import (Deployment, ExperimentConfig,
                                         deployment_digest)
+from repro.bench.parallel import parallel_unsupported_reason, run_parallel
 
-SCHEMA = "bench-scale/1"
-DEFAULT_POINTS = (16, 32, 64, 91)
+SCHEMA = "bench-scale/2"
+DEFAULT_POINTS = (16, 32, 64, 91, 256)
+DEFAULT_WORKERS = (1, 2)
 DEFAULT_OUTPUT = os.path.join(os.path.dirname(__file__), "..",
                               "BENCH_scale.json")
 REGRESSION_TOLERANCE = 0.30
@@ -112,12 +122,44 @@ def calibrate_host(rounds: int = 400_000) -> float:
     return rounds / best
 
 
-def run_point(total: int, repeats: int = 1, profile: bool = False) -> dict:
-    """Best-of-``repeats`` wall time for one sweep point."""
+def run_point(total: int, repeats: int = 1, profile: bool = False,
+              workers: int = 1) -> dict:
+    """Best-of-``repeats`` wall time for one sweep point.
+
+    ``workers > 1`` routes the point through the parallel engine
+    (per-cluster worker processes, conservative-lookahead sync); the
+    recorded digest must match the serial point's — the sweep is also
+    a cross-engine parity check at paper scale.
+    """
     best_wall = float("inf")
     record = None
     for _ in range(max(1, repeats)):
         config = scale_config(total)
+        if workers > 1:
+            config = dataclasses.replace(config, workers=workers)
+            reason = parallel_unsupported_reason(config)
+            if reason is not None:
+                raise SystemExit(
+                    f"n={total} workers={workers}: parallel engine "
+                    f"refused the configuration ({reason})")
+            t0 = time.perf_counter()
+            run = run_parallel(config)
+            wall = time.perf_counter() - t0
+            if wall < best_wall:
+                best_wall = wall
+                record = {
+                    "n": total,
+                    "workers": workers,
+                    "protocol": config.protocol,
+                    "wall_s": round(wall, 3),
+                    "events": run.events_processed,
+                    "events_per_s": round(run.events_processed / wall),
+                    "throughput_txn_s": round(run.result.throughput_txn_s),
+                    "avg_latency_s": round(run.result.avg_latency_s, 6),
+                    "max_queue_depth": run.max_queue_depth,
+                    "digest": run.digest,
+                }
+            continue
         deployment = Deployment(config)
         profiler = None
         if profile:
@@ -139,6 +181,7 @@ def run_point(total: int, repeats: int = 1, profile: bool = False) -> dict:
             events = deployment.sim.events_processed
             record = {
                 "n": total,
+                "workers": 1,
                 "protocol": config.protocol,
                 "wall_s": round(wall, 3),
                 "events": events,
@@ -158,14 +201,18 @@ def compare_to_baseline(points: List[dict], calibration: float,
     """Return a list of failure strings (empty == pass)."""
     failures: List[str] = []
     base_cal = baseline.get("host", {}).get("calibration_ops_per_s")
-    base_points = {p["n"]: p for p in baseline.get("points", [])}
+    # schema v1 baselines predate the parallel sweep: workers defaults 1.
+    base_points = {(p["n"], p.get("workers", 1)): p
+                   for p in baseline.get("points", [])}
     for point in points:
-        base = base_points.get(point["n"])
+        workers = point.get("workers", 1)
+        base = base_points.get((point["n"], workers))
         if base is None:
             continue
+        label = f"n={point['n']} workers={workers}"
         if base["digest"] != point["digest"]:
             failures.append(
-                f"n={point['n']}: deployment_digest mismatch vs baseline "
+                f"{label}: deployment_digest mismatch vs baseline "
                 f"({point['digest'][:12]}… != {base['digest'][:12]}…) — "
                 "simulated behaviour changed")
         if not base_cal or not calibration:
@@ -175,11 +222,33 @@ def compare_to_baseline(points: List[dict], calibration: float,
         base_rate = base["events_per_s"] / base_cal
         if current_rate < base_rate * (1.0 - tolerance):
             failures.append(
-                f"n={point['n']}: calibrated event rate regressed "
+                f"{label}: calibrated event rate regressed "
                 f"{(1.0 - current_rate / base_rate) * 100:.0f}% "
                 f"(>{tolerance * 100:.0f}% tolerance): "
                 f"{current_rate:.2f} vs baseline {base_rate:.2f} "
                 "events per calibration-op")
+    return failures
+
+
+def cross_engine_parity(points: List[dict]) -> List[str]:
+    """Serial and parallel points at the same n must share one digest.
+
+    This is the sweep's free correctness gate: any divergence between
+    the engines at paper scale fails the benchmark before perf is even
+    considered.
+    """
+    failures: List[str] = []
+    by_n: dict = {}
+    for point in points:
+        by_n.setdefault(point["n"], []).append(point)
+    for total, group in sorted(by_n.items()):
+        digests = {p["digest"] for p in group}
+        if len(digests) > 1:
+            detail = ", ".join(
+                f"workers={p.get('workers', 1)}:{p['digest'][:12]}…"
+                for p in group)
+            failures.append(
+                f"n={total}: serial/parallel digest divergence ({detail})")
     return failures
 
 
@@ -190,6 +259,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                              f"(default {','.join(map(str, DEFAULT_POINTS))})")
     parser.add_argument("--repeats", type=int, default=1,
                         help="wall-time repeats per point (best-of)")
+    parser.add_argument("--workers", default=None,
+                        help="comma-separated worker counts per point "
+                             f"(default "
+                             f"{','.join(map(str, DEFAULT_WORKERS))}; "
+                             "1 = serial engine, >1 = parallel engine — "
+                             "digests must agree across all of them)")
     parser.add_argument("--output", default=None,
                         help="write results JSON here "
                              "(default: repo-root BENCH_scale.json when "
@@ -206,22 +281,32 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     points_arg = (tuple(int(x) for x in args.points.split(","))
                   if args.points else DEFAULT_POINTS)
+    workers_arg = (tuple(int(x) for x in args.workers.split(","))
+                   if args.workers else DEFAULT_WORKERS)
     profile = os.environ.get("REPRO_PROFILE") == "1"
 
     calibration = calibrate_host()
     print(f"host calibration: {calibration:,.0f} pure-Python ops/s")
+    cpus = os.cpu_count() or 1
+    if any(w > 1 for w in workers_arg) and cpus < 2:
+        print(f"note: host has {cpus} CPU core(s) — parallel points "
+              "verify digest parity but cannot beat serial wall time")
 
     results: List[dict] = []
     over_budget: List[str] = []
     for total in points_arg:
-        point = run_point(total, repeats=args.repeats, profile=profile)
-        profile = False  # profile only the first point
-        results.append(point)
-        print(json.dumps(point))
-        if args.budget_s is not None and point["wall_s"] > args.budget_s:
-            over_budget.append(
-                f"n={total}: wall {point['wall_s']:.1f}s exceeds "
-                f"budget {args.budget_s:.1f}s")
+        for workers in workers_arg:
+            point = run_point(total, repeats=args.repeats,
+                              profile=profile, workers=workers)
+            profile = False  # profile only the first point
+            results.append(point)
+            print(json.dumps(point))
+            if (args.budget_s is not None
+                    and point["wall_s"] > args.budget_s):
+                over_budget.append(
+                    f"n={total} workers={workers}: wall "
+                    f"{point['wall_s']:.1f}s exceeds "
+                    f"budget {args.budget_s:.1f}s")
 
     payload = {
         "schema": SCHEMA,
@@ -229,19 +314,23 @@ def main(argv: Optional[List[str]] = None) -> int:
                      f"duration={SIM_DURATION}s)",
         "host": {
             "calibration_ops_per_s": round(calibration),
+            "cpus": cpus,
             "python": ".".join(map(str, sys.version_info[:3])),
         },
         "points": results,
     }
 
     failures = list(over_budget)
+    failures += cross_engine_parity(results)
     if args.baseline:
         with open(args.baseline) as fh:
             baseline = json.load(fh)
         failures += compare_to_baseline(results, calibration, baseline)
 
     output = args.output
-    if output is None and (args.update or points_arg == DEFAULT_POINTS):
+    if output is None and (args.update
+                           or (points_arg == DEFAULT_POINTS
+                               and workers_arg == DEFAULT_WORKERS)):
         output = DEFAULT_OUTPUT
     if output:
         with open(output, "w") as fh:

@@ -53,14 +53,20 @@ from .api import (
     LinkDelayFault,
     MessageLossFault,
     OmissionFault,
+    ParallelRun,
     PartitionFault,
     TamperFault,
     apply_scenario,
     chaos_smoke_timeline,
+    cluster_affinity_pairs,
     deployment_digest,
     fault_from_dict,
+    lookahead_s,
+    parallel_unsupported_reason,
+    partition_clusters,
     register_scenario,
     run_experiment,
+    run_parallel,
     scenario_names,
 )
 from .bench.charts import ascii_chart, bar_chart
@@ -102,14 +108,20 @@ __all__ = [
     "LinkDelayFault",
     "MessageLossFault",
     "OmissionFault",
+    "ParallelRun",
     "PartitionFault",
     "TamperFault",
     "apply_scenario",
     "chaos_smoke_timeline",
+    "cluster_affinity_pairs",
     "deployment_digest",
     "fault_from_dict",
+    "lookahead_s",
+    "parallel_unsupported_reason",
+    "partition_clusters",
     "register_scenario",
     "run_experiment",
+    "run_parallel",
     "scenario_names",
     # convenience re-exports (layout may change)
     "Metrics",

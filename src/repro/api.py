@@ -11,6 +11,13 @@ other internals, whose layout may change between versions:
   ``to_json()``), :class:`Deployment` for staged control (build, arrange
   faults, ``run()``), and :func:`deployment_digest` for determinism
   checks.
+* **Parallel engine** — :func:`run_parallel` (per-cluster worker
+  processes, byte-identical digests), :class:`ParallelRun` (the merged
+  outcome), :func:`parallel_unsupported_reason` (serial-fallback gate),
+  and the partitioning helpers :func:`partition_clusters` /
+  :func:`lookahead_s` / :func:`cluster_affinity_pairs`.  Setting
+  ``ExperimentConfig(workers=N)`` routes :func:`run_experiment` through
+  it automatically when supported.
 * **Fault injection** — :class:`FaultTimeline` plus the fault taxonomy
   (:class:`CrashFault`, :class:`PartitionFault`, :class:`LinkDelayFault`,
   :class:`MessageLossFault`, :class:`OmissionFault`, :class:`TamperFault`,
@@ -46,6 +53,14 @@ from .bench.deployment import (
     deployment_digest,
     run_experiment,
 )
+from .bench.parallel import (
+    ParallelRun,
+    cluster_affinity_pairs,
+    lookahead_s,
+    parallel_unsupported_reason,
+    partition_clusters,
+    run_parallel,
+)
 from .bench.scenarios import (
     SCENARIOS,
     apply_scenario,
@@ -77,6 +92,13 @@ __all__ = [
     "InvariantReport",
     "deployment_digest",
     "run_experiment",
+    # parallel engine
+    "ParallelRun",
+    "cluster_affinity_pairs",
+    "lookahead_s",
+    "parallel_unsupported_reason",
+    "partition_clusters",
+    "run_parallel",
     # scenarios
     "SCENARIOS",
     "apply_scenario",

@@ -85,12 +85,22 @@ class ExperimentConfig:
     #: samples, exports).  Observation-only: simulated results are
     #: byte-identical with this on or off.
     instrument: bool = False
+    #: Worker processes for the parallel backend (1 = serial engine).
+    #: Clusters are partitioned contiguously over ``min(workers,
+    #: num_clusters)`` processes; configurations the parallel backend
+    #: cannot run bit-identically (single cluster, zero-delay
+    #: topologies, instrumented runs, stochastic fault timelines) fall
+    #: back to the serial engine.  The deployment digest is identical
+    #: either way.
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
             raise ConfigurationError(
                 f"unknown protocol {self.protocol!r}; expected {PROTOCOLS}"
             )
+        if self.workers < 1:
+            raise ConfigurationError("workers must be >= 1")
         if self.num_clusters < 1:
             raise ConfigurationError("num_clusters must be >= 1")
         if self.replicas_per_cluster < 4:
@@ -247,15 +257,22 @@ class InvariantReport:
 class Deployment:
     """A built, runnable system: simulator, network, replicas, clients."""
 
-    def __init__(self, config: ExperimentConfig):
+    def __init__(self, config: ExperimentConfig, *,
+                 _sim: Optional[Simulation] = None,
+                 _metrics: Optional[Metrics] = None):
+        # ``_sim``/``_metrics`` let the parallel backend's workers build
+        # an identical deployment on a WorkerSimulation/WorkerMetrics
+        # pair; everything else about construction is shared, which is
+        # what keeps worker-local state byte-identical to serial.
         self.config = config
         self.topology = config.resolved_topology()
         if len(self.topology.regions) < config.num_clusters:
             raise ConfigurationError(
                 "topology has fewer regions than requested clusters"
             )
-        self.sim = Simulation(seed=config.seed)
-        self.metrics = Metrics(warmup=config.warmup)
+        self.sim = _sim if _sim is not None else Simulation(seed=config.seed)
+        self.metrics = (_metrics if _metrics is not None
+                        else Metrics(warmup=config.warmup))
         self.network = Network(self.sim, self.topology)
         self.network.add_observer(self.metrics.network_observer,
                                   self.metrics.network_observer_group)
@@ -654,8 +671,40 @@ class Deployment:
 
 
 def run_experiment(config: ExperimentConfig) -> ExperimentResult:
-    """Build and run one experiment (the harness's main entry point)."""
+    """Build and run one experiment (the harness's main entry point).
+
+    ``config.workers > 1`` routes supported configurations through the
+    parallel backend; anything it cannot run bit-identically falls back
+    to the serial engine, so the result is the same either way.
+    """
+    if config.workers > 1:
+        from .parallel import parallel_unsupported_reason, run_parallel
+        if parallel_unsupported_reason(config) is None:
+            return run_parallel(config).result
     return Deployment(config).run()
+
+
+def digest_from_parts(result: ExperimentResult, events_processed: int,
+                      ledgers) -> str:
+    """Digest core shared by the serial and parallel engines.
+
+    ``ledgers`` is an iterable of ``(str(node), height, head_hash_hex)``
+    rows; it is sorted here so callers may supply it in any order (the
+    parallel engine concatenates per-worker rows).
+    """
+    import hashlib
+    import json
+    from dataclasses import asdict
+
+    payload = json.dumps(
+        {
+            "result": asdict(result),
+            "events_processed": events_processed,
+            "ledgers": sorted(tuple(row) for row in ledgers),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def deployment_digest(deployment: Deployment,
@@ -667,22 +716,13 @@ def deployment_digest(deployment: Deployment,
     so the digest of an instrumented run must equal the digest of the
     same configuration run without it — ``repro trace
     --assert-determinism`` and the tracing smoke test both check this.
+    The parallel engine reproduces the same digest via
+    :func:`digest_from_parts` over merged per-worker state.
     """
-    import hashlib
-    import json
-    from dataclasses import asdict
-
-    ledgers = sorted(
+    ledgers = [
         (str(node), replica.ledger.height,
          replica.ledger.head_hash.hex())
         for node, replica in deployment.replicas.items()
-    )
-    payload = json.dumps(
-        {
-            "result": asdict(result),
-            "events_processed": deployment.sim.events_processed,
-            "ledgers": ledgers,
-        },
-        sort_keys=True,
-    )
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    ]
+    return digest_from_parts(result, deployment.sim.events_processed,
+                             ledgers)

@@ -82,6 +82,10 @@ def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--real-crypto", action="store_true",
                         help="verify real HMAC signatures (slower host "
                              "run, identical simulated results)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the parallel engine "
+                             "(1 = serial; capped at the cluster count; "
+                             "results are byte-identical either way)")
 
 
 def _arrange_faults(deployment, args, quiet: bool = False) -> None:
@@ -128,6 +132,7 @@ def _config_from_args(args, protocol: str,
         seed=args.seed,
         fast_crypto=not args.real_crypto,
         instrument=instrument,
+        workers=getattr(args, "workers", 1),
     )
 
 
@@ -154,12 +159,74 @@ def _print_observability(deployment) -> None:
     print(format_queue_samples(instr))
 
 
+def _cmd_parallel_run(args, config) -> Optional[int]:
+    """The ``run`` command on the parallel engine.
+
+    Returns ``None`` when the configuration needs the serial engine
+    (the caller falls back), otherwise the process exit code.  The
+    printed result, counters, and JSON are deployment-wide merges — a
+    parallel run is byte-identical to its serial twin.
+    """
+    from .bench.parallel import parallel_unsupported_reason, run_parallel
+    from .net.chaos import FaultTimeline
+
+    timeline = FaultTimeline.load(args.faults) if args.faults else None
+    scenario = args.scenario if args.scenario != "none" else None
+    reason = parallel_unsupported_reason(config, timeline=timeline,
+                                         scenario=scenario)
+    if reason is not None:
+        if not args.json:
+            print(f"workers={config.workers}: serial fallback ({reason})")
+        return None
+    if not args.json:
+        if scenario:
+            print(f"scenario {scenario}: installed in every worker")
+        if timeline is not None:
+            print(f"fault timeline {timeline.name!r}: "
+                  f"{len(timeline)} faults scheduled in every worker")
+    run = run_parallel(config, timeline=timeline, scenario=scenario,
+                       fail_at=args.fail_at)
+    result = run.result
+    if args.json:
+        print(result.to_json())
+        return 0 if run.invariants.ok else 1
+    print(result.describe())
+    print(format_latency_percentiles(result))
+    print(f"  global: {result.global_messages} msgs / "
+          f"{result.global_bytes / 1e6:.2f} MB   "
+          f"local: {result.local_messages} msgs / "
+          f"{result.local_bytes / 1e6:.2f} MB")
+    telemetry = run.telemetry
+    print(f"  parallel: {run.workers} workers, lookahead "
+          f"{run.lookahead * 1e3:.1f} ms, {run.windows} windows, "
+          f"{run.events_processed} events, "
+          f"max queue depth {run.max_queue_depth}")
+    print(f"  network (merged): {telemetry.get('sends', 0)} sends, "
+          f"{telemetry.get('in_flight_drops', 0)} in-flight drops, "
+          f"{telemetry.get('receiver_drops', 0)} receiver drops, "
+          f"{telemetry.get('tampered_sends', 0)} tampered")
+    if args.traffic:
+        from .analysis.traffic import format_link_report, link_usage
+        rows = link_usage(run.metrics, config.resolved_topology(),
+                          window=result.duration)
+        print("\nper-link traffic (heaviest first):")
+        print(format_link_report(rows))
+    if timeline is not None or scenario:
+        print()
+        print(run.invariants.describe())
+    return 0 if run.invariants.ok else 1
+
+
 def _cmd_run(args) -> int:
     from .bench.deployment import Deployment
 
     instrument = bool(args.trace_out or args.trace_jsonl)
-    deployment = Deployment(
-        _config_from_args(args, args.protocol, instrument=instrument))
+    config = _config_from_args(args, args.protocol, instrument=instrument)
+    if config.workers > 1:
+        outcome = _cmd_parallel_run(args, config)
+        if outcome is not None:
+            return outcome
+    deployment = Deployment(config)
     _arrange_faults(deployment, args, quiet=args.json)
     result = deployment.run()
     if args.json:

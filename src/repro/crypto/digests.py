@@ -156,6 +156,39 @@ class CachedEncodable:
             ENCODING_STATS.digest_hits += 1
         return cached
 
+    # ------------------------------------------------------------------
+    # Pickling (cross-process message exchange)
+    # ------------------------------------------------------------------
+    # Frozen dataclasses that declare ``__slots__`` cannot use pickle's
+    # default slot restoration: it goes through ``setattr``, which the
+    # frozen ``__setattr__`` rejects.  The parallel engine ships messages
+    # between worker processes, so restore state via
+    # ``object.__setattr__`` explicitly.  The memoized caches travel
+    # with the message: they are pure functions of the frozen content,
+    # and shipping them keeps an imported certificate chain as cheap to
+    # handle as a locally produced one (re-deriving a deep chain on the
+    # receiving worker measurably dominates cross-worker message cost).
+
+    def __getstate__(self) -> dict:
+        state = {}
+        for klass in type(self).__mro__:
+            slots = getattr(klass, "__slots__", ())
+            if isinstance(slots, str):
+                slots = (slots,)
+            for slot in slots:
+                try:
+                    state[slot] = getattr(self, slot)
+                except AttributeError:
+                    pass
+        instance_dict = getattr(self, "__dict__", None)
+        if instance_dict:
+            state.update(instance_dict)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+
 
 class _CacheMark:
     """Stack frame recording where a cacheable object's encoding starts."""

@@ -587,6 +587,117 @@ class NoSilentExcept(Rule):
         self.generic_visit(node)
 
 
+#: Directories whose module-level state is reachable from replica
+#: handlers — the code the parallel engine replicates into per-cluster
+#: worker processes.
+_WORKER_STATE_DIRS = ("repro/consensus/", "repro/core/")
+
+#: Constructors whose result is a mutable container.
+_MUTABLE_CONSTRUCTORS = {"list", "dict", "set", "bytearray", "deque",
+                         "defaultdict", "Counter", "OrderedDict"}
+
+
+class NoCrossWorkerSharedState(Rule):
+    """Protocol modules must not keep written module-level state."""
+
+    id = "no-cross-worker-shared-state"
+    summary = ("no written module-level state in consensus/ or core/ "
+               "(parallel workers cannot share it)")
+    rationale = (
+        "The parallel engine runs each cluster's replicas in separate "
+        "worker processes; module-level state that replica code writes "
+        "is process-local, so workers silently diverge from the serial "
+        "engine (and from each other) the moment it influences "
+        "behaviour.  Per-run state belongs on the replica or an "
+        "injected collaborator built from the picklable "
+        "ExperimentConfig.  Read-only lookup tables are fine — only "
+        "mutations (and ``global`` rebinding) are flagged."
+    )
+
+    def applies_to(self, ctx: "FileContext") -> bool:
+        return any(part in ctx.norm_path for part in _WORKER_STATE_DIRS)
+
+    def begin_file(self, ctx: "FileContext") -> None:
+        #: Module-level names bound to mutable containers.
+        self._module_mutables: Set[str] = set()
+        #: All module-level bindings (for the ``global`` check).
+        self._module_names: Set[str] = set()
+
+    def _is_mutable_value(self, value: ast.AST) -> bool:
+        if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                              ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(value, ast.Call):
+            name = _call_name(value)
+            return name in _MUTABLE_CONSTRUCTORS
+        return False
+
+    def visit_Module(self, node: ast.Module) -> None:
+        for stmt in node.body:
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                name = target.id
+                self._module_names.add(name)
+                if (value is not None and self._is_mutable_value(value)
+                        and not name.startswith("__")):
+                    self._module_mutables.add(name)
+        self.generic_visit(node)
+
+    def visit_Global(self, node: ast.Global) -> None:
+        for name in node.names:
+            self.report(node,
+                        f"function rebinds module-level name {name!r} "
+                        "via global; parallel workers each get their "
+                        "own copy — keep per-run state on the replica")
+        self.generic_visit(node)
+
+    def _flag(self, node: ast.AST, name: str, how: str) -> None:
+        self.report(node,
+                    f"module-level mutable {name!r} is {how} here; "
+                    "each parallel worker process has its own copy, so "
+                    "replica behaviour diverges between the serial and "
+                    "parallel engines — keep per-run state on the "
+                    "replica or an injected collaborator")
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if isinstance(target, (ast.Subscript, ast.Attribute)):
+                root = _root_name(target)
+                if root in self._module_mutables:
+                    self._flag(node, root, "written")
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if isinstance(node.target, (ast.Subscript, ast.Attribute)):
+            root = _root_name(node.target)
+            if root in self._module_mutables:
+                self._flag(node, root, "written")
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            if isinstance(target, (ast.Subscript, ast.Attribute)):
+                root = _root_name(target)
+                if root in self._module_mutables:
+                    self._flag(node, root, "written")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
+            root = _root_name(func.value)
+            if root in self._module_mutables:
+                self._flag(node, root, "mutated")
+        self.generic_visit(node)
+
+
 #: The catalogue, in documentation order.
 RULES: List[Type[Rule]] = [
     NoWallclock,
@@ -596,6 +707,7 @@ RULES: List[Type[Rule]] = [
     SlotsCoverage,
     VerifyBeforeMutate,
     NoSilentExcept,
+    NoCrossWorkerSharedState,
 ]
 
 

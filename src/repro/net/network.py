@@ -34,7 +34,8 @@ deployment digest are byte-identical to the per-destination path.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Protocol, Tuple
+from typing import (Callable, Dict, Iterable, List, NamedTuple, Optional,
+                    Protocol, Tuple)
 
 from ..errors import ConfigurationError
 from ..types import NodeId
@@ -67,6 +68,27 @@ SendObserver = Callable[[NodeId, NodeId, object, int, bool], None]
 
 #: Sentinel region key for a sender's shared cross-region egress queue.
 _WAN_EGRESS = "__wan__"
+
+
+class ExportedSend(NamedTuple):
+    """A delivery bound for a node another worker owns.
+
+    The sending worker computes the *final* arrival time (uplink
+    serialization, propagation, failure delay rules are all sender-side
+    state) plus the ordering token the serial engine's sequence number
+    stands for; the orchestrator routes the record to the destination
+    worker, which injects it into its calendar verbatim.  ``dsts``
+    holds one destination for a unicast delivery and a same-instant run
+    for a grouped multicast delivery (which stands in for
+    ``len(dsts)`` events, exactly like :meth:`Simulation.post_group`).
+    """
+
+    arrival: float          # absolute virtual arrival time
+    tie: tuple              # ordering token minted by the source worker
+    src: NodeId
+    dsts: Tuple[NodeId, ...]
+    message: object
+    fingerprint: Optional[bytes]  # sanitizer snapshot, when armed
 
 
 def _message_size(message: SizedMessage) -> int:
@@ -107,7 +129,8 @@ class Network:
                  "_uplink_free_at", "_routes", "_local_keys", "_observers",
                  "_notify", "_group_notify", "_sanitizer", "_sends",
                  "_self_sends", "_suppressed_sends", "_in_flight_drops",
-                 "_receiver_drops", "_tampered_sends", "_delayed_sends")
+                 "_receiver_drops", "_tampered_sends", "_delayed_sends",
+                 "_owned", "_exports")
 
     def __init__(self, sim: Simulation, topology: Topology,
                  failures: Optional[FailureModel] = None,
@@ -136,6 +159,12 @@ class Network:
         # metrics sink does).  Lets multicast report one call per
         # local/remote group instead of one call per destination.
         self._group_notify = None
+        # Parallel-backend partitioning: when set, deliveries to nodes
+        # outside ``_owned`` are captured as ExportedSend records
+        # instead of being posted locally.  ``None`` = serial (the
+        # default; the hot paths pay one None test).
+        self._owned: Optional[frozenset] = None
+        self._exports: List[ExportedSend] = []
         # Telemetry counters (pure integers, never read by the model).
         self._sends = 0
         self._self_sends = 0
@@ -270,6 +299,14 @@ class Network:
                 src, dst, message):
             self._in_flight_drops += 1
             return
+        owned = self._owned
+        if owned is not None and dst not in owned:
+            self._exports.append(ExportedSend(
+                self._sim.now + arrival_delay,
+                self._sim.reserve_export_tie(), src, (dst,), message,
+                sanitizer.fingerprint(message) if sanitizer is not None
+                else None))
+            return
         # Deliveries are never cancelled: use the allocation-free path.
         if sanitizer is not None:
             self._sim.post(arrival_delay, self._deliver_checked, src, dst,
@@ -390,11 +427,18 @@ class Network:
         count = len(deliveries)
         post = sim.post
         post_group = sim.post_group
+        owned = self._owned
         while i < count:
             delay, dst = deliveries[i]
             j = i + 1
             while j < count and deliveries[j][0] == delay:
                 j += 1
+            if owned is not None:
+                self._emit_partitioned_run(sim, now, owned, deliveries,
+                                           i, j, delay, src, message,
+                                           fingerprint)
+                i = j
+                continue
             if j == i + 1:
                 if fingerprint is not None:
                     post(delay, self._deliver_checked, src, dst, message,
@@ -411,6 +455,52 @@ class Network:
                     post_group(delay, len(group), self._deliver_group,
                                src, group, message)
             i = j
+
+    def _emit_partitioned_run(self, sim, now, owned, deliveries, i, j,
+                              delay, src, message, fingerprint) -> None:
+        """Emit one equal-arrival multicast run under partitioning.
+
+        The run is split into maximal segments of equal ownership (and,
+        for foreign segments, equal destination cluster — one export
+        must route to exactly one worker), order preserved: each
+        segment's tie counters stay consecutive, so the serial engine's
+        grouping invariant (no foreign event can sort between grouped
+        members) survives the split — owned segments post locally,
+        foreign segments become one export each.
+        """
+        s = i
+        while s < j:
+            first = deliveries[s][1]
+            seg_owned = first in owned
+            cluster = first.cluster
+            e = s + 1
+            while e < j:
+                dst_e = deliveries[e][1]
+                if (dst_e in owned) != seg_owned:
+                    break
+                if not seg_owned and dst_e.cluster != cluster:
+                    break
+                e += 1
+            seg = tuple(d for _, d in deliveries[s:e])
+            if not seg_owned:
+                self._exports.append(ExportedSend(
+                    now + delay, sim.reserve_export_tie(len(seg)), src,
+                    seg, message, fingerprint))
+            elif len(seg) == 1:
+                if fingerprint is not None:
+                    sim.post(delay, self._deliver_checked, src, seg[0],
+                             message, fingerprint)
+                else:
+                    sim.post(delay, self._deliver, src, seg[0], message)
+            else:
+                if fingerprint is not None:
+                    sim.post_group(delay, len(seg),
+                                   self._deliver_group_checked, src, seg,
+                                   message, fingerprint)
+                else:
+                    sim.post_group(delay, len(seg), self._deliver_group,
+                                   src, seg, message)
+            s = e
 
     def _deliver(self, src: NodeId, dst: NodeId, message) -> None:
         failures = self._failures
@@ -450,6 +540,53 @@ class Network:
         deliver = self._deliver
         for dst in dsts:
             deliver(src, dst, message)
+
+    # ------------------------------------------------------------------
+    # Parallel-backend partitioning
+    # ------------------------------------------------------------------
+    def enable_partition(self, owned: Iterable[NodeId]) -> None:
+        """Route deliveries to nodes outside ``owned`` into the export
+        buffer instead of the local event queue (parallel workers).
+
+        All timing state (uplink queues, delay rules) stays sender-side
+        and is computed exactly as in serial mode; only the final
+        delivery posting is redirected.  Requires the simulator to be a
+        :class:`~repro.net.simulator.WorkerSimulation` (the export tie
+        keys come from it).
+        """
+        self._owned = frozenset(owned)
+
+    def drain_exports(self) -> List["ExportedSend"]:
+        """Return and clear the cross-worker deliveries captured since
+        the last drain (called at every window barrier)."""
+        exports = self._exports
+        self._exports = []
+        return exports
+
+    def inject_import(self, rec: "ExportedSend") -> None:
+        """Insert a delivery exported by another worker.
+
+        The record's tie key restores the serial (deadline, seq) order;
+        receiver-side failure checks still run at delivery time against
+        this worker's (identical) failure model.
+        """
+        tie = rec.tie
+        sim = self._sim
+        if len(rec.dsts) == 1:
+            if rec.fingerprint is not None:
+                sim.inject(rec.arrival, tie, self._deliver_checked,
+                           rec.src, rec.dsts[0], rec.message,
+                           rec.fingerprint)
+            else:
+                sim.inject(rec.arrival, tie, self._deliver, rec.src,
+                           rec.dsts[0], rec.message)
+        else:
+            if rec.fingerprint is not None:
+                sim.inject(rec.arrival, tie, self._deliver_group_checked,
+                           rec.src, rec.dsts, rec.message, rec.fingerprint)
+            else:
+                sim.inject(rec.arrival, tie, self._deliver_group,
+                           rec.src, rec.dsts, rec.message)
 
     def telemetry(self) -> Dict[str, int]:
         """Send/drop counters (observability only).

@@ -390,6 +390,98 @@ class TestNoSilentExcept:
 
 
 # ---------------------------------------------------------------------------
+# Rule: no-cross-worker-shared-state
+# ---------------------------------------------------------------------------
+class TestNoCrossWorkerSharedState:
+    PATH = "repro/consensus/fancy.py"
+    RULE = "no-cross-worker-shared-state"
+
+    def test_fires_on_mutated_module_dict(self):
+        bad = """
+            _SEEN = {}
+
+            def handle(msg):
+                _SEEN[msg.key] = msg
+        """
+        found = findings_for(bad, self.RULE, path=self.PATH)
+        assert len(found) == 1
+        assert "_SEEN" in found[0].message
+        assert "worker" in found[0].message
+
+    def test_fires_on_mutator_method_call(self):
+        bad = """
+            _PENDING = []
+
+            def handle(msg):
+                _PENDING.append(msg)
+        """
+        assert findings_for(bad, self.RULE, path=self.PATH)
+
+    def test_fires_on_global_rebinding(self):
+        bad = """
+            _ROUND = 0
+
+            def handle(msg):
+                global _ROUND
+                _ROUND += 1
+        """
+        found = findings_for(bad, self.RULE, path=self.PATH)
+        assert found and "global" in found[0].message
+
+    def test_fires_on_delete_of_module_state(self):
+        bad = """
+            _CACHE = {}
+
+            def evict(key):
+                del _CACHE[key]
+        """
+        assert findings_for(bad, self.RULE, path=self.PATH)
+
+    def test_quiet_on_readonly_lookup_table(self):
+        good = """
+            _NEXT_PHASE = {"prepare": "precommit"}
+
+            def advance(phase):
+                return _NEXT_PHASE[phase]
+        """
+        assert not findings_for(good, self.RULE, path=self.PATH)
+
+    def test_quiet_on_immutable_constants(self):
+        good = """
+            KINDS = ("crash", "partition")
+            NAMES = frozenset({"a", "b"})
+
+            def check(kind):
+                return kind in KINDS
+        """
+        assert not findings_for(good, self.RULE, path=self.PATH)
+
+    def test_quiet_on_instance_state(self):
+        good = """
+            class Replica:
+                def __init__(self):
+                    self._seen = {}
+
+                def handle(self, msg):
+                    self._seen[msg.key] = msg
+        """
+        assert not findings_for(good, self.RULE, path=self.PATH)
+
+    def test_quiet_outside_protocol_modules(self):
+        bad = """
+            _SEEN = {}
+
+            def handle(msg):
+                _SEEN[msg.key] = msg
+        """
+        assert not findings_for(bad, self.RULE, path="repro/bench/tool.py")
+
+    def test_repo_protocol_modules_are_clean(self):
+        report = run_lint([REPO_SRC], rules=default_rules([self.RULE]))
+        assert report.ok, report.format_text()
+
+
+# ---------------------------------------------------------------------------
 # Suppressions and the allowlist
 # ---------------------------------------------------------------------------
 WALLCLOCK_BAD = """
