@@ -43,24 +43,29 @@ from .api import (
     ChaosContext,
     CrashFault,
     Deployment,
+    EngineReport,
     EquivocateFault,
     ExperimentConfig,
     ExperimentResult,
     FAULT_KINDS,
     Fault,
     FaultTimeline,
+    Instrumentation,
     InvariantReport,
+    LatencyHistogram,
     LinkDelayFault,
     MessageLossFault,
     OmissionFault,
     ParallelRun,
     PartitionFault,
     TamperFault,
+    WorkerInstrumentation,
     apply_scenario,
     chaos_smoke_timeline,
     cluster_affinity_pairs,
     deployment_digest,
     fault_from_dict,
+    load_trace_jsonl,
     lookahead_s,
     parallel_unsupported_reason,
     partition_clusters,
@@ -98,24 +103,29 @@ __all__ = [
     "ChaosContext",
     "CrashFault",
     "Deployment",
+    "EngineReport",
     "EquivocateFault",
     "ExperimentConfig",
     "ExperimentResult",
     "FAULT_KINDS",
     "Fault",
     "FaultTimeline",
+    "Instrumentation",
     "InvariantReport",
+    "LatencyHistogram",
     "LinkDelayFault",
     "MessageLossFault",
     "OmissionFault",
     "ParallelRun",
     "PartitionFault",
     "TamperFault",
+    "WorkerInstrumentation",
     "apply_scenario",
     "chaos_smoke_timeline",
     "cluster_affinity_pairs",
     "deployment_digest",
     "fault_from_dict",
+    "load_trace_jsonl",
     "lookahead_s",
     "parallel_unsupported_reason",
     "partition_clusters",

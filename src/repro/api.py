@@ -13,11 +13,18 @@ other internals, whose layout may change between versions:
   checks.
 * **Parallel engine** — :func:`run_parallel` (per-cluster worker
   processes, byte-identical digests), :class:`ParallelRun` (the merged
-  outcome), :func:`parallel_unsupported_reason` (serial-fallback gate),
-  and the partitioning helpers :func:`partition_clusters` /
-  :func:`lookahead_s` / :func:`cluster_affinity_pairs`.  Setting
+  outcome, including a merged :class:`Instrumentation` hub on
+  instrumented runs and an :class:`EngineReport` of per-worker
+  barrier/idle telemetry), :func:`parallel_unsupported_reason`
+  (serial-fallback gate), and the partitioning helpers
+  :func:`partition_clusters` / :func:`lookahead_s` /
+  :func:`cluster_affinity_pairs`.  Setting
   ``ExperimentConfig(workers=N)`` routes :func:`run_experiment` through
   it automatically when supported.
+* **Observability** — :class:`Instrumentation` (the phase-event hub,
+  with :meth:`~Instrumentation.merge` for folding parallel worker
+  hubs), :class:`LatencyHistogram`, and :func:`load_trace_jsonl` for
+  offline analysis of exported traces.
 * **Fault injection** — :class:`FaultTimeline` plus the fault taxonomy
   (:class:`CrashFault`, :class:`PartitionFault`, :class:`LinkDelayFault`,
   :class:`MessageLossFault`, :class:`OmissionFault`, :class:`TamperFault`,
@@ -53,7 +60,13 @@ from .bench.deployment import (
     deployment_digest,
     run_experiment,
 )
+from .bench.instrumentation import (
+    Instrumentation,
+    LatencyHistogram,
+    WorkerInstrumentation,
+)
 from .bench.parallel import (
+    EngineReport,
     ParallelRun,
     cluster_affinity_pairs,
     lookahead_s,
@@ -61,6 +74,7 @@ from .bench.parallel import (
     partition_clusters,
     run_parallel,
 )
+from .bench.tracing import load_trace_jsonl
 from .bench.scenarios import (
     SCENARIOS,
     apply_scenario,
@@ -93,12 +107,18 @@ __all__ = [
     "deployment_digest",
     "run_experiment",
     # parallel engine
+    "EngineReport",
     "ParallelRun",
     "cluster_affinity_pairs",
     "lookahead_s",
     "parallel_unsupported_reason",
     "partition_clusters",
     "run_parallel",
+    # observability
+    "Instrumentation",
+    "LatencyHistogram",
+    "WorkerInstrumentation",
+    "load_trace_jsonl",
     # scenarios
     "SCENARIOS",
     "apply_scenario",

@@ -89,9 +89,10 @@ class ExperimentConfig:
     #: Clusters are partitioned contiguously over ``min(workers,
     #: num_clusters)`` processes; configurations the parallel backend
     #: cannot run bit-identically (single cluster, zero-delay
-    #: topologies, instrumented runs, stochastic fault timelines) fall
-    #: back to the serial engine.  The deployment digest is identical
-    #: either way.
+    #: topologies, stochastic fault timelines) fall back to the serial
+    #: engine.  Instrumented runs are parallel-native: per-worker hubs
+    #: are merged deterministically at run end.  The deployment digest
+    #: is identical either way.
     workers: int = 1
 
     def __post_init__(self) -> None:
@@ -259,11 +260,13 @@ class Deployment:
 
     def __init__(self, config: ExperimentConfig, *,
                  _sim: Optional[Simulation] = None,
-                 _metrics: Optional[Metrics] = None):
-        # ``_sim``/``_metrics`` let the parallel backend's workers build
-        # an identical deployment on a WorkerSimulation/WorkerMetrics
-        # pair; everything else about construction is shared, which is
-        # what keeps worker-local state byte-identical to serial.
+                 _metrics: Optional[Metrics] = None,
+                 _instrumentation: Optional[Instrumentation] = None):
+        # ``_sim``/``_metrics``/``_instrumentation`` let the parallel
+        # backend's workers build an identical deployment on a
+        # WorkerSimulation/WorkerMetrics/WorkerInstrumentation triple;
+        # everything else about construction is shared, which is what
+        # keeps worker-local state byte-identical to serial.
         self.config = config
         self.topology = config.resolved_topology()
         if len(self.topology.regions) < config.num_clusters:
@@ -278,8 +281,12 @@ class Deployment:
                                   self.metrics.network_observer_group)
         # Observability hub, or None (the zero-cost default): replicas
         # emit phase events into it; it only ever reads sim.now.
-        self.instrumentation: Optional[Instrumentation] = (
-            Instrumentation(self.sim) if config.instrument else None)
+        if _instrumentation is not None:
+            self.instrumentation: Optional[Instrumentation] = \
+                _instrumentation
+        else:
+            self.instrumentation = (Instrumentation(self.sim)
+                                    if config.instrument else None)
         # Encoding-cache counters are process-wide; snapshot them so this
         # run's delta can be reported.
         self._encoding_baseline = encoding_cache_stats().snapshot()

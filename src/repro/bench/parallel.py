@@ -31,11 +31,19 @@ orchestration events, ledgers collected per owner — produces a
 byte-identical ``deployment_digest``.  The 13-case golden matrix
 asserts this for every protocol.
 
+Instrumented runs are parallel-native: each worker records into its
+own :class:`WorkerInstrumentation` hub (phase events stamped with the
+engine's composite tie keys) and the orchestrator folds the hubs into
+one with :meth:`Instrumentation.merge`, so the merged trace's span set
+equals the serial engine's.  The engine additionally measures itself —
+per-worker busy/barrier-wait host time, window widths, export volumes
+— shipped as an :class:`EngineReport` and rendered as a dedicated
+"engine" track in the Chrome trace.
+
 Configurations the engine cannot run bit-identically (single cluster,
-zero-latency topologies, instrumented runs, stochastic or
-live-targeted fault timelines) are detected by
-:func:`parallel_unsupported_reason`; callers fall back to the serial
-engine, which is always correct.
+zero-latency topologies, stochastic or live-targeted fault timelines)
+are detected by :func:`parallel_unsupported_reason`; callers fall back
+to the serial engine, which is always correct.
 """
 
 from __future__ import annotations
@@ -43,7 +51,9 @@ from __future__ import annotations
 import gc
 import math
 import multiprocessing
-from dataclasses import dataclass
+import os
+import time
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import SimulationError, TamperedLedgerError
@@ -52,6 +62,7 @@ from ..net.simulator import WorkerSimulation
 from ..net.topology import Topology
 from .deployment import (Deployment, ExperimentConfig, ExperimentResult,
                          InvariantReport, digest_from_parts)
+from .instrumentation import Instrumentation, WorkerInstrumentation
 from .metrics import Metrics, WorkerMetrics, merge_worker_metrics
 
 #: Scenarios that resolve their victims at install time against the
@@ -185,8 +196,6 @@ def parallel_unsupported_reason(config: ExperimentConfig,
         return "workers <= 1"
     if config.num_clusters < 2:
         return "single-cluster deployment cannot be partitioned"
-    if config.instrument:
-        return "instrumented runs keep the hub in one process"
     parts = partition_clusters(config.num_clusters, config.workers)
     if lookahead_s(config.resolved_topology(), parts,
                    cluster_affinity_pairs(config)) <= 0.0:
@@ -214,7 +223,10 @@ def _worker_loop(conn, spec) -> None:
     sim = WorkerSimulation(seed=config.seed, worker_index=worker_index,
                            worker_count=worker_count)
     metrics = WorkerMetrics(warmup=config.warmup)
-    deployment = Deployment(config, _sim=sim, _metrics=metrics)
+    instrumentation = (WorkerInstrumentation(sim, worker_index)
+                       if config.instrument else None)
+    deployment = Deployment(config, _sim=sim, _metrics=metrics,
+                            _instrumentation=instrumentation)
 
     owned_nodes = set()
     for cluster, members in deployment.cluster_members.items():
@@ -242,6 +254,13 @@ def _worker_loop(conn, spec) -> None:
             sim.schedule_ranked(0.0, cluster, client.start)
 
     network = deployment.network
+    # The engine measures its own host-side behavior per barrier
+    # window: time inside the event loop (busy), time blocked on the
+    # orchestrator (barrier wait), and export/import volumes.  All
+    # host-clock reads below feed *telemetry only* — never simulated
+    # state — so determinism is untouched.
+    engine_windows: List[Dict[str, object]] = []
+    window_start = 0.0
     # One gc window around the whole run (the serial engine toggles per
     # ``run()`` call; per-window toggling would churn for nothing).
     gc_was_enabled = gc.isenabled()
@@ -249,20 +268,40 @@ def _worker_loop(conn, spec) -> None:
         gc.disable()
     try:
         while True:
+            waited_at = time.perf_counter()  # repro: allow[no-wallclock] host-side engine telemetry (barrier wait)
             msg = conn.recv()
+            wait_s = time.perf_counter() - waited_at  # repro: allow[no-wallclock] host-side engine telemetry
             tag = msg[0]
             if tag == "advance" or tag == "final":
                 _, end, imports = msg
                 for rec in imports:
                     network.inject_import(rec)
+                events_before = sim.events_processed
+                busy_at = time.perf_counter()  # repro: allow[no-wallclock] host-side engine telemetry (worker busy time)
                 if tag == "advance":
                     sim.run_window(end)
                 else:
                     sim.run(until=end)
-                conn.send(("exports", network.drain_exports()))
+                busy_s = time.perf_counter() - busy_at  # repro: allow[no-wallclock] host-side engine telemetry
+                exports = network.drain_exports()
+                engine_windows.append({
+                    "worker": worker_index,
+                    "window": len(engine_windows),
+                    "start": window_start,
+                    "end": end,
+                    "busy_s": busy_s,
+                    "wait_s": wait_s,
+                    "events": sim.events_processed - events_before,
+                    "exports": len(exports),
+                    "export_events": sum(len(rec.dsts) for rec in exports),
+                    "imports": len(imports),
+                })
+                window_start = end
+                conn.send(("exports", exports))
             elif tag == "summary":
                 conn.send(("summary",
-                           _summarize(deployment, owned_nodes)))
+                           _summarize(deployment, owned_nodes,
+                                      engine_windows)))
             elif tag == "exit":
                 return
             else:  # pragma: no cover - protocol bug guard
@@ -273,7 +312,18 @@ def _worker_loop(conn, spec) -> None:
 
 
 def _worker_main(conn, spec) -> None:
-    """Spawn entry point: run the loop, ship any failure as a message."""
+    """Spawn entry point: run the loop, ship any failure as a message.
+
+    ``REPRO_PROFILE=1`` profiles this worker under :mod:`cProfile` and
+    dumps ``<REPRO_PROFILE_OUT or 'repro-profile'>-w<rank>.pstats`` on
+    exit (the orchestrator process is profiled separately by the CLI),
+    so parallel hot spots are attributable per worker.
+    """
+    profiler = None
+    if os.environ.get("REPRO_PROFILE") == "1":
+        import cProfile
+        profiler = cProfile.Profile()
+        profiler.enable()
     try:
         _worker_loop(conn, spec)
     # Not swallowed: the traceback is shipped to the orchestrator,
@@ -286,10 +336,15 @@ def _worker_main(conn, spec) -> None:
         except OSError:
             pass
     finally:
+        if profiler is not None:
+            profiler.disable()
+            prefix = os.environ.get("REPRO_PROFILE_OUT", "repro-profile")
+            profiler.dump_stats(f"{prefix}-w{spec[2]}.pstats")
         conn.close()
 
 
-def _summarize(deployment: Deployment, owned_nodes) -> dict:
+def _summarize(deployment: Deployment, owned_nodes,
+               engine_windows: List[Dict[str, object]]) -> dict:
     """Everything the orchestrator needs to merge this worker's share."""
     sim = deployment.sim
     network = deployment.network
@@ -344,12 +399,64 @@ def _summarize(deployment: Deployment, owned_nodes) -> dict:
         "activated": dict(timeline._activated) if timeline else {},
         "deactivated": dict(timeline._deactivated) if timeline else {},
         "final_height": final_height,
+        # Pickled with _sim stripped (Instrumentation.__getstate__);
+        # None on uninstrumented runs.
+        "instrumentation": deployment.instrumentation,
+        "engine_windows": engine_windows,
     }
 
 
 # ---------------------------------------------------------------------------
 # Orchestrator
 # ---------------------------------------------------------------------------
+@dataclass
+class EngineReport:
+    """The parallel engine's own telemetry for one run.
+
+    ``per_worker`` holds one totals dict per worker with keys
+    ``worker``, ``clusters``, ``windows``, ``busy_s``, ``wait_s``,
+    ``idle_fraction``, ``events``, ``exports``, ``export_events``,
+    ``imports``.  Host-time figures (``busy_s``/``wait_s``) measure
+    where *wall-clock* goes — they vary run to run and are telemetry
+    only; everything else is deterministic.
+    """
+
+    workers: int
+    lookahead: float
+    windows: int
+    per_worker: List[Dict[str, object]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (what ``repro run --json`` embeds)."""
+        return {
+            "workers": self.workers,
+            "lookahead_s": self.lookahead,
+            "windows": self.windows,
+            "per_worker": [dict(w) for w in self.per_worker],
+        }
+
+    @staticmethod
+    def worker_totals(worker: int, clusters: Sequence[int],
+                      windows: Sequence[Dict[str, object]]
+                      ) -> Dict[str, object]:
+        """Aggregate one worker's per-window log into its totals row."""
+        busy = sum(w["busy_s"] for w in windows)
+        wait = sum(w["wait_s"] for w in windows)
+        elapsed = busy + wait
+        return {
+            "worker": worker,
+            "clusters": list(clusters),
+            "windows": len(windows),
+            "busy_s": busy,
+            "wait_s": wait,
+            "idle_fraction": (wait / elapsed) if elapsed > 0 else 0.0,
+            "events": sum(w["events"] for w in windows),
+            "exports": sum(w["exports"] for w in windows),
+            "export_events": sum(w["export_events"] for w in windows),
+            "imports": sum(w["imports"] for w in windows),
+        }
+
+
 @dataclass
 class ParallelRun:
     """Outcome of one parallel run, with the merged observability the
@@ -365,6 +472,10 @@ class ParallelRun:
     workers: int
     lookahead: float
     windows: int
+    #: Merged observability hub (None unless ``config.instrument``).
+    instrumentation: Optional[Instrumentation] = None
+    #: The engine's own telemetry (always present).
+    engine: Optional[EngineReport] = None
 
 
 def run_parallel(config: ExperimentConfig, timeline=None,
@@ -468,6 +579,15 @@ def run_parallel(config: ExperimentConfig, timeline=None,
     run.workers = len(parts)
     run.lookahead = lookahead
     run.windows = n_windows
+    per_worker = [
+        EngineReport.worker_totals(w, parts[w], s["engine_windows"])
+        for w, s in enumerate(summaries)
+    ]
+    run.engine = EngineReport(workers=len(parts), lookahead=lookahead,
+                              windows=n_windows, per_worker=per_worker)
+    if run.instrumentation is not None:
+        all_windows = [w for s in summaries for w in s["engine_windows"]]
+        run.instrumentation.set_engine_track(all_windows, per_worker)
     return run
 
 
@@ -542,6 +662,15 @@ def _merge(config: ExperimentConfig, summaries: List[dict],
         offered_load_txn_s=metrics.offered_load_txn_s(),
         liveness_ok=report.liveness_ok,
     )
+    instrumentation: Optional[Instrumentation] = None
+    if config.instrument:
+        # Fold worker hubs in worker order; merge() re-sorts events by
+        # their composite tie keys, so the result is independent of
+        # fold order anyway.
+        instrumentation = Instrumentation(None)
+        for s in summaries:
+            instrumentation.merge(s["instrumentation"])
+
     digest = digest_from_parts(result, events_processed, ledger_rows)
     return ParallelRun(
         result=result,
@@ -554,6 +683,7 @@ def _merge(config: ExperimentConfig, summaries: List[dict],
         workers=workers,
         lookahead=0.0,
         windows=0,
+        instrumentation=instrumentation,
     )
 
 

@@ -5,16 +5,78 @@ records a bounded, filterable log of protocol traffic.  It exists for
 debugging, for the failure-resilience example's narrative output, and
 for tests that assert on *when* and *where* specific messages flowed
 (e.g. "the remote view change fired before the new primary's resend").
+
+:func:`load_trace_jsonl` is the read path for exported phase traces:
+it replays a JSONL file written by
+:meth:`~repro.bench.instrumentation.Instrumentation.export_jsonl` back
+into a fresh hub, so ``repro trace --summary`` can print phase tables
+and engine stats from an artifact without re-running the experiment.
 """
 
 from __future__ import annotations
 
+import json
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Type
 
 from ..net.network import Network
 from ..types import NodeId
+from .instrumentation import Instrumentation
+
+
+class _ReplayClock:
+    """Stand-in simulator for offline replay: just a settable ``now``."""
+
+    __slots__ = ("now",)
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+
+def load_trace_jsonl(path: str) -> Instrumentation:
+    """Rebuild an :class:`Instrumentation` hub from an exported JSONL.
+
+    Phase-event lines replay through :meth:`Instrumentation.phase`
+    (nodes stay strings — the read side only ever stringifies them), so
+    marks, spans, phase durations, and the share-latency breakdown are
+    reconstructed exactly.  ``engine_window`` / ``engine_worker`` lines
+    (present when the trace came from a parallel run) reattach the
+    engine track.  Sample streams and counters are not exported and so
+    cannot be recovered here.
+    """
+    hub = Instrumentation(sim=None)
+    clock = _ReplayClock()
+    hub._sim = clock
+    engine_windows: List[dict] = []
+    engine_workers: List[dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{line_no}: not a JSON object: {exc}") from exc
+            if "engine_window" in obj:
+                engine_windows.append(obj["engine_window"])
+            elif "engine_worker" in obj:
+                engine_workers.append(obj["engine_worker"])
+            else:
+                try:
+                    clock.now = obj["t"]
+                    hub.phase(obj["phase"], obj["node"], obj["cluster"],
+                              obj["round"], obj.get("detail"))
+                except (KeyError, TypeError) as exc:
+                    raise ValueError(
+                        f"{path}:{line_no}: not a phase-event record "
+                        f"({exc})") from exc
+    hub._sim = None
+    if engine_windows or engine_workers:
+        hub.set_engine_track(engine_windows, engine_workers)
+    return hub
 
 
 @dataclass(frozen=True)

@@ -20,8 +20,11 @@ JSON spec.  All output is plain text; every run is deterministic per
 
 Set ``REPRO_PROFILE=1`` to run the command under :mod:`cProfile` and
 print the 20 hottest functions (by internal time) afterwards — the
-quickest way to see where *host* CPU goes.  Profiling never affects
-simulated results: the simulator runs on virtual time.
+quickest way to see where *host* CPU goes.  On a parallel run each
+worker process additionally dumps its own profile to
+``<REPRO_PROFILE_OUT or 'repro-profile'>-w<rank>.pstats`` (load with
+:mod:`pstats`).  Profiling never affects simulated results: the
+simulator runs on virtual time.
 """
 
 from __future__ import annotations
@@ -39,6 +42,7 @@ from .bench.deployment import (
 )
 from .bench.reporting import (
     format_cache_report,
+    format_engine_stats,
     format_latency_percentiles,
     format_phase_durations,
     format_queue_samples,
@@ -136,8 +140,7 @@ def _config_from_args(args, protocol: str,
     )
 
 
-def _export_traces(deployment, trace_out: str, trace_jsonl: str) -> None:
-    instr = deployment.instrumentation
+def _export_traces(instr, trace_out: str, trace_jsonl: str) -> None:
     if trace_out:
         spans = instr.export_chrome_trace(trace_out)
         print(f"  wrote {spans} trace events to {trace_out} "
@@ -147,8 +150,7 @@ def _export_traces(deployment, trace_out: str, trace_jsonl: str) -> None:
         print(f"  wrote {lines} phase events to {trace_jsonl}")
 
 
-def _print_observability(deployment) -> None:
-    instr = deployment.instrumentation
+def _print_observability(instr) -> None:
     print()
     print(format_phase_durations(instr))
     share = format_share_latency(instr)
@@ -188,7 +190,13 @@ def _cmd_parallel_run(args, config) -> Optional[int]:
                        fail_at=args.fail_at)
     result = run.result
     if args.json:
-        print(result.to_json())
+        import json
+
+        # The result row itself is byte-identical to the serial
+        # engine's; engine telemetry rides alongside under its own key.
+        doc = result.to_dict()
+        doc["engine"] = run.engine.to_dict()
+        print(json.dumps(doc, indent=2, sort_keys=True))
         return 0 if run.invariants.ok else 1
     print(result.describe())
     print(format_latency_percentiles(result))
@@ -205,6 +213,14 @@ def _cmd_parallel_run(args, config) -> Optional[int]:
           f"{telemetry.get('in_flight_drops', 0)} in-flight drops, "
           f"{telemetry.get('receiver_drops', 0)} receiver drops, "
           f"{telemetry.get('tampered_sends', 0)} tampered")
+    print()
+    print(format_engine_stats(run.engine.per_worker,
+                              lookahead=run.engine.lookahead,
+                              windows=run.engine.windows))
+    if run.instrumentation is not None:
+        _print_observability(run.instrumentation)
+        _export_traces(run.instrumentation, args.trace_out,
+                       args.trace_jsonl)
     if args.traffic:
         from .analysis.traffic import format_link_report, link_usage
         rows = link_usage(run.metrics, config.resolved_topology(),
@@ -241,8 +257,9 @@ def _cmd_run(args) -> int:
     print()
     print(format_cache_report(deployment))
     if instrument:
-        _print_observability(deployment)
-        _export_traces(deployment, args.trace_out, args.trace_jsonl)
+        _print_observability(deployment.instrumentation)
+        _export_traces(deployment.instrumentation, args.trace_out,
+                       args.trace_jsonl)
     if args.traffic:
         from .analysis.traffic import format_link_report, link_usage
         rows = link_usage(deployment.metrics, deployment.topology,
@@ -255,8 +272,36 @@ def _cmd_run(args) -> int:
     return 0 if _result_ok(deployment, result) else 1
 
 
+def _cmd_trace_summary(args) -> int:
+    """``repro trace --summary FILE``: offline analysis of a JSONL
+    trace — no experiment is re-run."""
+    from .bench.tracing import load_trace_jsonl
+
+    try:
+        hub = load_trace_jsonl(args.summary)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load {args.summary}: {exc}",
+              file=sys.stderr)
+        return 2
+    print(f"trace summary of {args.summary}:")
+    print(hub.summary())
+    print()
+    print(format_phase_durations(hub))
+    share = format_share_latency(hub)
+    if not share.startswith("("):
+        print()
+        print(share)
+    if hub.engine_workers:
+        print()
+        print(format_engine_stats(hub.engine_workers))
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from .bench.deployment import Deployment
+
+    if args.summary:
+        return _cmd_trace_summary(args)
 
     def _run(instrument: bool):
         deployment = Deployment(
@@ -271,13 +316,13 @@ def _cmd_trace(args) -> int:
     print(format_latency_percentiles(result))
     print()
     print(instr.summary())
-    _print_observability(deployment)
+    _print_observability(instr)
     print()
     print(format_cache_report(deployment))
     print()
     print(format_runtime_telemetry(deployment))
     print()
-    _export_traces(deployment, args.out, args.jsonl)
+    _export_traces(instr, args.out, args.jsonl)
     if deployment.invariants is not None and deployment.timeline is not None:
         print()
         print(deployment.invariants.describe())
@@ -421,6 +466,11 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--assert-determinism", action="store_true",
                               help="re-run without instrumentation and "
                                    "fail unless results are identical")
+    trace_parser.add_argument("--summary", default="", metavar="JSONL",
+                              help="print phase p50/p95/p99 tables and "
+                                   "per-worker engine stats from an "
+                                   "existing JSONL trace instead of "
+                                   "running an experiment")
     _add_experiment_args(trace_parser)
     trace_parser.set_defaults(handler=_cmd_trace)
 

@@ -545,7 +545,7 @@ class WorkerSimulation(Simulation):
     """
 
     __slots__ = ("_rank", "_k", "_stride", "_parent_post",
-                 "_prev_deadline", "_prev_tie", "shared_fired")
+                 "_prev_deadline", "_prev_tie", "_fire_tie", "shared_fired")
 
     def __init__(self, seed: int = 0, worker_index: int = 0,
                  worker_count: int = 1):
@@ -556,7 +556,19 @@ class WorkerSimulation(Simulation):
         self._parent_post = -1.0  # firing event's post time; -1 = pre-run
         self._prev_deadline = -1.0
         self._prev_tie: Optional[tuple] = None
+        self._fire_tie: Optional[tuple] = None  # tie of the firing event
         self.shared_fired = 0  # fired rank-0 events (duplicated per worker)
+
+    @property
+    def fire_tie(self) -> Optional[tuple]:
+        """Composite tie key of the event currently firing.
+
+        ``None`` before the first event fires (e.g. while the deployment
+        is being built).  :class:`WorkerInstrumentation` stamps every
+        phase event with this key so the orchestrator can merge
+        per-worker event streams back into the serial emission order.
+        """
+        return self._fire_tie
 
     # ------------------------------------------------------------------
     # Scheduling (tie keys instead of sequence numbers)
@@ -751,6 +763,7 @@ class WorkerSimulation(Simulation):
             self._now = deadline
             self._parent_post = tie[0]
             self._rank = tie[2]
+            self._fire_tie = tie
             self._depth -= 1
             self._events_processed += 1
             if tie[2] == 0:

@@ -133,9 +133,11 @@ class TestFallbackGates:
         config = small_config(num_clusters=1, workers=2)
         assert "single-cluster" in parallel_unsupported_reason(config)
 
-    def test_instrumented_runs_stay_serial(self):
+    def test_instrumented_runs_are_parallel_native(self):
+        # Since the per-worker hub merge, instrumentation no longer
+        # forces the serial engine.
         config = small_config(workers=2, instrument=True)
-        assert "instrument" in parallel_unsupported_reason(config)
+        assert parallel_unsupported_reason(config) is None
 
     def test_live_scenarios_stay_serial(self):
         config = small_config(workers=2)

@@ -1,0 +1,279 @@
+"""Parallel-native tracing: worker hubs merged into one serial-equal trace.
+
+The parallel engine no longer falls back to serial for instrumented
+runs; each worker records into its own hub and the orchestrator folds
+them at run end.  These tests pin the contract:
+
+* **Trace parity** — golden-matrix configs run at ``workers`` ∈
+  {1, 2, 4} produce the identical sorted ``(time, phase, node, round)``
+  event set, identical spans/share latency, and the byte-identical
+  golden ``deployment_digest``.
+* **Chrome-trace parity** — the merged hub's trace_event export equals
+  the serial hub's, modulo the extra "engine" telemetry track.
+* **Chaos dedup** — orchestration events replicated into every worker
+  (fault toggles, chaos counters) appear exactly once after the merge.
+* **Engine telemetry** — every parallel run carries an
+  :class:`EngineReport`; instrumented runs also render it as a
+  dedicated trace track and JSONL records.
+* **Per-worker profiling** — ``REPRO_PROFILE=1`` dumps one pstats file
+  per worker, suffixed ``-w<rank>``.
+
+The known, documented divergence: ``sim.pending_events`` samples are
+per-worker queue depths in parallel mode, so sample *streams* are not
+asserted equal — everything else is.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pstats
+
+import pytest
+
+from repro.bench.deployment import (Deployment, ExperimentConfig,
+                                    deployment_digest)
+from repro.bench.instrumentation import ENGINE_TRACK_PID
+from repro.bench.parallel import parallel_unsupported_reason, run_parallel
+from repro.bench.tracing import load_trace_jsonl
+from repro.net.chaos import FaultTimeline, PartitionFault, TamperFault
+
+from .test_scale_determinism import SHAPE_MATRIX, SMALL_MATRIX
+
+#: workers=1 exercises the serial dispatch (the gate still routes it to
+#: the serial engine); 2 and 4 the parallel engine proper.
+WORKER_COUNTS = (1, 2, 4)
+
+#: Golden-matrix points for the parity sweep: the 4-cluster shape (so
+#: workers=4 is four real workers, not a clamp) and one small 2x4 case.
+PARITY_CASES = [
+    ("geobft-4x4",
+     dict(SHAPE_MATRIX[0][0]),
+     SHAPE_MATRIX[0][1]),
+    ("pbft-2x4",
+     dict(protocol="pbft", num_clusters=2, replicas_per_cluster=4,
+          batch_size=50, duration=1.0, warmup=0.25, seed=1,
+          record_count=2_000, fast_crypto=True),
+     SMALL_MATRIX[("pbft", 1)][0]),
+]
+
+SMALL = dict(protocol="geobft", num_clusters=2, replicas_per_cluster=4,
+             batch_size=50, duration=1.0, warmup=0.25, seed=1,
+             record_count=2_000, fast_crypto=True)
+
+
+def small_config(**overrides) -> ExperimentConfig:
+    return ExperimentConfig(**{**SMALL, **overrides})
+
+
+def _event_set(hub):
+    return sorted((e.time, e.phase, str(e.node), e.cluster, e.round_id)
+                  for e in hub.events)
+
+
+def _spans(hub):
+    return {key: hub.round_span(*key) for key in hub.rounds()}
+
+
+def _assert_share_parity(hub, reference):
+    # Counts and marks are exact; means can differ in the last ulp
+    # because the two hubs accumulate the identical values in different
+    # orders (dict insertion order is merge-dependent).
+    ours, theirs = hub.share_latency(), reference.share_latency()
+    assert set(ours) == set(theirs)
+    for key, histogram in theirs.items():
+        assert ours[key].count == histogram.count
+        assert ours[key].mean() == pytest.approx(histogram.mean())
+
+
+def _instrumented(config: ExperimentConfig):
+    """Run on whichever engine the gate picks; return (hub, digest)."""
+    if parallel_unsupported_reason(config) is not None:
+        deployment = Deployment(config)
+        result = deployment.run()
+        return (deployment.instrumentation,
+                deployment_digest(deployment, result))
+    run = run_parallel(config)
+    return run.instrumentation, run.digest
+
+
+# ---------------------------------------------------------------------------
+# Serial-vs-parallel trace parity on the golden matrix
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("name,case,golden",
+                         PARITY_CASES, ids=[c[0] for c in PARITY_CASES])
+def test_trace_parity_across_worker_counts(name, case, golden):
+    serial = Deployment(ExperimentConfig(**case, instrument=True))
+    result = serial.run()
+    assert deployment_digest(serial, result) == golden
+    reference_hub = serial.instrumentation
+    reference = _event_set(reference_hub)
+    for workers in WORKER_COUNTS:
+        hub, digest = _instrumented(
+            ExperimentConfig(**case, instrument=True, workers=workers))
+        assert digest == golden, f"workers={workers}"
+        assert len(hub.events) == len(reference_hub.events)
+        assert _event_set(hub) == reference
+        assert _spans(hub) == _spans(reference_hub)
+        _assert_share_parity(hub, reference_hub)
+        assert hub.counters == reference_hub.counters
+        assert hub.committed_rounds() == reference_hub.committed_rounds()
+
+
+def test_merged_event_order_matches_serial_emission_order():
+    # Stronger than set equality: the tie-key sort reconstructs the
+    # serial engine's exact emission sequence.
+    serial = Deployment(small_config(instrument=True))
+    serial.run()
+    run = run_parallel(small_config(instrument=True, workers=2))
+    key = lambda e: (e.time, e.phase, str(e.node), e.cluster, e.round_id)
+    assert ([key(e) for e in run.instrumentation.events]
+            == [key(e) for e in serial.instrumentation.events])
+
+
+def test_phase_durations_survive_the_merge():
+    serial = Deployment(small_config(instrument=True))
+    serial.run()
+    run = run_parallel(small_config(instrument=True, workers=2))
+    ours = run.instrumentation.phase_durations()
+    theirs = serial.instrumentation.phase_durations()
+    assert set(ours) == set(theirs)
+    for name, histogram in theirs.items():
+        assert ours[name].count == histogram.count
+        assert ours[name].mean() == pytest.approx(histogram.mean())
+
+
+# ---------------------------------------------------------------------------
+# Chrome-trace parity (modulo the engine track) and the engine track
+# ---------------------------------------------------------------------------
+def _non_engine_rows(document):
+    return sorted(json.dumps(event, sort_keys=True)
+                  for event in document["traceEvents"]
+                  if event.get("pid") != ENGINE_TRACK_PID)
+
+
+def test_chrome_trace_span_set_equals_serial():
+    serial = Deployment(small_config(instrument=True))
+    serial.run()
+    run = run_parallel(small_config(instrument=True, workers=2))
+    serial_doc = serial.instrumentation.chrome_trace()
+    merged_doc = run.instrumentation.chrome_trace()
+    assert _non_engine_rows(merged_doc) == _non_engine_rows(serial_doc)
+
+
+def test_chrome_trace_renders_engine_track():
+    run = run_parallel(small_config(instrument=True, workers=2))
+    document = run.instrumentation.chrome_trace()
+    engine = [e for e in document["traceEvents"]
+              if e.get("pid") == ENGINE_TRACK_PID]
+    names = [e for e in engine if e["ph"] == "M"
+             and e["name"] == "process_name"]
+    assert names and names[0]["args"]["name"] == "engine"
+    threads = [e for e in engine if e["ph"] == "M"
+               and e["name"] == "thread_name"]
+    assert {e["tid"] for e in threads} == {0, 1}
+    windows = [e for e in engine if e["ph"] == "X"]
+    assert windows and {e["cat"] for e in windows} == {"engine"}
+    for span in windows:
+        assert span["dur"] >= 0
+        assert {"busy_s", "wait_s", "events", "exports",
+                "export_events", "imports"} <= set(span["args"])
+    # The serial hub has no engine data and renders no such track.
+    serial = Deployment(small_config(instrument=True))
+    serial.run()
+    serial_doc = serial.instrumentation.chrome_trace()
+    assert not any(e.get("pid") == ENGINE_TRACK_PID
+                   for e in serial_doc["traceEvents"])
+
+
+# ---------------------------------------------------------------------------
+# Chaos events are orchestration-shared: merged exactly once
+# ---------------------------------------------------------------------------
+def test_chaos_events_not_duplicated_across_workers():
+    timeline = FaultTimeline([
+        PartitionFault(["cluster:1"], ["cluster:2"],
+                       at=0.3, until=0.55, name="split"),
+        TamperFault("replica:1.2", at=0.2, name="tamper"),
+    ], name="tracing-chaos")
+    config = small_config(instrument=True)
+    serial = Deployment(config)
+    FaultTimeline.from_dict(timeline.to_dict()).install(serial)
+    result = serial.run()
+    run = run_parallel(dataclasses.replace(config, workers=2),
+                       timeline=timeline)
+    assert run.digest == deployment_digest(serial, result)
+    hub, serial_hub = run.instrumentation, serial.instrumentation
+
+    def chaos_events(h):
+        return sorted((e.time, e.phase, str(e.node)) for e in h.events
+                      if e.phase in ("fault_on", "fault_off"))
+
+    serial_chaos = chaos_events(serial_hub)
+    assert serial_chaos  # the timeline actually toggled
+    assert chaos_events(hub) == serial_chaos
+    chaos_counters = {k: v for k, v in serial_hub.counters.items()
+                      if k.startswith("chaos.")}
+    assert chaos_counters
+    assert {k: v for k, v in hub.counters.items()
+            if k.startswith("chaos.")} == chaos_counters
+
+
+# ---------------------------------------------------------------------------
+# Engine telemetry: report, JSONL round trip, per-worker profiles
+# ---------------------------------------------------------------------------
+def test_engine_report_present_even_uninstrumented():
+    run = run_parallel(small_config(workers=2))
+    assert run.instrumentation is None
+    report = run.engine
+    assert report.workers == 2
+    assert report.lookahead == pytest.approx(run.lookahead)
+    assert report.windows == run.windows
+    assert len(report.per_worker) == 2
+    for row in report.per_worker:
+        assert row["windows"] > 0
+        assert row["events"] > 0
+        assert 0.0 <= row["idle_fraction"] <= 1.0
+        assert row["busy_s"] >= 0.0 and row["wait_s"] >= 0.0
+    # Boundary traffic flowed both ways between the two workers.
+    assert all(row["exports"] > 0 for row in report.per_worker)
+    assert all(row["imports"] > 0 for row in report.per_worker)
+    doc = report.to_dict()
+    assert set(doc) == {"workers", "lookahead_s", "windows", "per_worker"}
+    json.dumps(doc)  # JSON-ready, no stray types
+
+
+def test_jsonl_round_trip_with_engine_records(tmp_path):
+    run = run_parallel(small_config(instrument=True, workers=2))
+    hub = run.instrumentation
+    path = tmp_path / "trace.jsonl"
+    hub.export_jsonl(str(path))
+    loaded = load_trace_jsonl(str(path))
+    assert len(loaded.events) == len(hub.events)
+    key = lambda e: (e.time, e.phase, str(e.node), e.cluster, e.round_id)
+    assert [key(e) for e in loaded.events] == [key(e) for e in hub.events]
+    assert _spans(loaded) == _spans(hub)
+    _assert_share_parity(loaded, hub)
+    ours = loaded.phase_durations()
+    for name, histogram in hub.phase_durations().items():
+        assert ours[name].count == histogram.count
+    assert loaded.engine_windows == hub.engine_windows
+    assert loaded.engine_workers == hub.engine_workers
+
+
+def test_load_trace_jsonl_rejects_garbage(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"t": 0.1, "phase": "proposed"\n')
+    with pytest.raises(ValueError, match="bad.jsonl:1"):
+        load_trace_jsonl(str(path))
+
+
+def test_profile_dumps_one_pstats_file_per_worker(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_PROFILE", "1")
+    monkeypatch.setenv("REPRO_PROFILE_OUT", str(tmp_path / "prof"))
+    run = run_parallel(small_config(workers=2, duration=0.6, warmup=0.15))
+    assert run.result.safety_ok
+    for rank in (0, 1):
+        dump = tmp_path / f"prof-w{rank}.pstats"
+        assert dump.exists(), f"missing worker {rank} profile"
+        stats = pstats.Stats(str(dump))
+        assert stats.total_calls > 0
