@@ -10,40 +10,23 @@ HotStuff sits between with high latency.
 
 from __future__ import annotations
 
-from repro.bench.charts import ascii_chart
-from repro.bench.reporting import format_figure_series
+from repro.sweep import get_campaign, record_series, run_campaign
 
-from common import (
-    PROTOCOLS,
-    assert_shape,
-    geo_scale_points,
-    point_config,
-    run_point,
-)
+from common import assert_shape, campaign_note
 
 
 def reproduce_figure10():
-    points = geo_scale_points()
-    throughput = {p: [] for p in PROTOCOLS}
-    latency = {p: [] for p in PROTOCOLS}
-    for protocol in PROTOCOLS:
-        for z, n in points:
-            result = run_point(point_config(protocol, z, n, duration=1.4))
-            throughput[protocol].append(result.throughput_txn_s)
-            latency[protocol].append(result.avg_latency_s)
-    zs = [z for z, _ in points]
+    """Shim over the registered ``fig10`` campaign (same points, same
+    deterministic results; the campaign adds store caching and pool
+    fan-out when run via ``repro sweep``)."""
+    campaign_note("fig10")
+    outcome = run_campaign(get_campaign("fig10"), jobs=1)
+    assert outcome.ok, outcome.summary()
+    records = outcome.records
+    zs, throughput = record_series(records, "throughput_txn_s")
+    _, latency = record_series(records, "avg_latency_s")
     print()
-    print(format_figure_series(
-        f"Figure 10 (reproduced) — throughput vs #clusters "
-        f"(zn = {points[0][1]} replicas total)",
-        "z", zs, throughput, "txn/s"))
-    print()
-    print(ascii_chart("Figure 10 — throughput (txn/s)", "clusters", zs,
-                      throughput))
-    print()
-    print(format_figure_series(
-        "Figure 10 (reproduced) — latency vs #clusters",
-        "z", zs, latency, "s"))
+    print(outcome.artifacts["fig10"], end="")
     return zs, throughput, latency
 
 

@@ -10,36 +10,23 @@ PBFT and 1.2x HotStuff even at n = 15.
 
 from __future__ import annotations
 
-from repro.bench.reporting import format_figure_series
+from repro.sweep import get_campaign, record_series, run_campaign
 
-from common import (
-    PROTOCOLS,
-    assert_shape,
-    cluster_size_points,
-    point_config,
-    run_point,
-)
+from common import assert_shape, campaign_note
 
 Z = 4
 
 
 def reproduce_figure11():
-    points = cluster_size_points()
-    throughput = {p: [] for p in PROTOCOLS}
-    latency = {p: [] for p in PROTOCOLS}
-    for protocol in PROTOCOLS:
-        for n in points:
-            result = run_point(point_config(protocol, Z, n, duration=1.4))
-            throughput[protocol].append(result.throughput_txn_s)
-            latency[protocol].append(result.avg_latency_s)
+    """Shim over the registered ``fig11`` campaign."""
+    campaign_note("fig11")
+    outcome = run_campaign(get_campaign("fig11"), jobs=1)
+    assert outcome.ok, outcome.summary()
+    records = outcome.records
+    points, throughput = record_series(records, "throughput_txn_s")
+    _, latency = record_series(records, "avg_latency_s")
     print()
-    print(format_figure_series(
-        f"Figure 11 (reproduced) — throughput vs replicas/cluster (z={Z})",
-        "n", points, throughput, "txn/s"))
-    print()
-    print(format_figure_series(
-        "Figure 11 (reproduced) — latency vs replicas/cluster",
-        "n", points, latency, "s"))
+    print(outcome.artifacts["fig11"], end="")
     return points, throughput, latency
 
 

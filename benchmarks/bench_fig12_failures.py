@@ -16,82 +16,26 @@ Three panels (§4.3):
 
 from __future__ import annotations
 
-from repro.bench.reporting import format_figure_series
+from repro.sweep import get_campaign, run_campaign
+from repro.sweep.reports import fig12_panels
 
-from common import (
-    PROTOCOLS,
-    assert_shape,
-    failure_points,
-    point_config,
-    run_point,
-)
+from common import assert_shape, campaign_note
 
 Z = 4
 
 
-def _config(protocol, n, **overrides):
-    # Durations pass through point_config, which applies the
-    # REPRO_BENCH_TIME_SCALE / REPRO_BENCH_DURATION environment knobs.
-    params = dict(duration=2.0, warmup=0.5)
-    params.update(overrides)
-    return point_config(protocol, Z, n, **params)
-
-
-def _panel(scenario, protocols, fail_at=0.0, absolute_duration=None,
-           **overrides):
-    points = failure_points()
-    series = {}
-    for protocol in protocols:
-        values = []
-        for n in points:
-            config = _config(protocol, n, **overrides)
-            if absolute_duration is not None:
-                # Recovery timeouts are absolute (view-change and client
-                # retry timers), so this window must not shrink with
-                # REPRO_BENCH_TIME_SCALE.
-                config.duration = absolute_duration
-            values.append(run_point(config, scenario,
-                                    fail_at=fail_at).throughput_txn_s)
-        series[protocol] = values
-    return points, series
-
-
 def reproduce_figure12():
-    points, one_failure = _panel("one_backup", PROTOCOLS)
-    _, f_failures = _panel("f_backups", PROTOCOLS)
-    # Primary failure: crash after ~900 txns are through (the paper's
-    # setup); checkpoints every 6 decisions = 600 txns at batch 100.
-    _, primary = _panel(
-        "primary", ("geobft", "pbft"), fail_at=0.8,
-        absolute_duration=4.5, warmup=0.4,
-        view_change_timeout=0.6, client_retry_timeout=1.2,
-        checkpoint_interval=6,
-    )
-    baseline = {}
-    for protocol in ("geobft", "pbft"):
-        values = []
-        for n in points:
-            config = _config(protocol, n, warmup=0.4)
-            config.duration = 4.5
-            values.append(run_point(config).throughput_txn_s)
-        baseline[protocol] = values
+    """Shim over the registered ``fig12`` campaign (all four panels,
+    including the absolute-duration primary-crash window and its
+    failure-free reference runs)."""
+    campaign_note("fig12")
+    outcome = run_campaign(get_campaign("fig12"), jobs=1)
+    assert outcome.ok, outcome.summary()
+    points, panels = fig12_panels(outcome.records)
     print()
-    print(format_figure_series(
-        "Figure 12 left (reproduced) — one non-primary failure",
-        "n", points, one_failure, "txn/s"))
-    print()
-    print(format_figure_series(
-        "Figure 12 middle (reproduced) — f non-primary failures/cluster",
-        "n", points, f_failures, "txn/s"))
-    print()
-    print(format_figure_series(
-        "Figure 12 right (reproduced) — single primary failure",
-        "n", points, primary, "txn/s"))
-    print()
-    print(format_figure_series(
-        "(reference) failure-free runs for the primary-failure panel",
-        "n", points, baseline, "txn/s"))
-    return points, one_failure, f_failures, primary, baseline
+    print(outcome.artifacts["fig12"], end="")
+    return (points, panels["one_backup"], panels["f_backups"],
+            panels["primary"], panels["baseline"])
 
 
 def test_fig12_failures(benchmark):

@@ -10,35 +10,21 @@ and up to 1.6x HotStuff at large batches.
 
 from __future__ import annotations
 
-from repro.bench.charts import ascii_chart
-from repro.bench.reporting import format_figure_series
+from repro.sweep import get_campaign, record_series, run_campaign
 
-from common import (
-    PROTOCOLS,
-    assert_shape,
-    batch_points,
-    point_config,
-    run_point,
-)
+from common import PROTOCOLS, assert_shape, campaign_note
 
 Z, N = 4, 7
 
 
 def reproduce_figure13():
-    points = batch_points()
-    throughput = {p: [] for p in PROTOCOLS}
-    for protocol in PROTOCOLS:
-        for batch in points:
-            result = run_point(point_config(
-                protocol, Z, N, batch_size=batch, duration=1.4))
-            throughput[protocol].append(result.throughput_txn_s)
+    """Shim over the registered ``fig13`` campaign."""
+    campaign_note("fig13")
+    outcome = run_campaign(get_campaign("fig13"), jobs=1)
+    assert outcome.ok, outcome.summary()
+    points, throughput = record_series(outcome.records, "throughput_txn_s")
     print()
-    print(format_figure_series(
-        f"Figure 13 (reproduced) — throughput vs batch size (z={Z}, n={N})",
-        "batch", points, throughput, "txn/s"))
-    print()
-    print(ascii_chart("Figure 13 — throughput (txn/s)", "batch size",
-                      points, throughput))
+    print(outcome.artifacts["fig13"], end="")
     return points, throughput
 
 

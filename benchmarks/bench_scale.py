@@ -50,76 +50,23 @@ import time
 from typing import List, Optional
 
 try:
-    from repro.bench.deployment import (Deployment, ExperimentConfig,
-                                        deployment_digest)
+    from repro.bench.deployment import Deployment, deployment_digest
 except ImportError:  # running from a source checkout without install
     sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
-    from repro.bench.deployment import (Deployment, ExperimentConfig,
-                                        deployment_digest)
+    from repro.bench.deployment import Deployment, deployment_digest
 from repro.bench.parallel import parallel_unsupported_reason, run_parallel
+# Single-sourced with the sweep package: the ``scale``/``ci-smoke``
+# campaigns build identical configs and the store's renderer writes the
+# identical baseline format, so the two paths stay byte-compatible.
+from repro.sweep.calibrate import calibrate_host
+from repro.sweep.campaigns import scale_config
+from repro.sweep.store import SCALE_BENCHMARK, SCALE_SCHEMA as SCHEMA
 
-SCHEMA = "bench-scale/2"
 DEFAULT_POINTS = (16, 32, 64, 91, 256)
 DEFAULT_WORKERS = (1, 2)
 DEFAULT_OUTPUT = os.path.join(os.path.dirname(__file__), "..",
                               "BENCH_scale.json")
 REGRESSION_TOLERANCE = 0.30
-
-#: Simulated seconds per point: long enough that queue depths and vote
-#: traffic reach steady state, short enough that the n=91 point stays
-#: tractable on a laptop-class host.
-SIM_DURATION = 1.2
-SIM_WARMUP = 0.3
-
-
-def scale_config(total: int, seed: int = 2,
-                 protocol: str = "geobft") -> ExperimentConfig:
-    """Deployment config for ``total`` replicas.
-
-    n=91 reproduces the paper's six-region spread (16+15×5); the
-    smaller points use four equal clusters so f ≥ 1 per cluster holds
-    down to n=16.
-    """
-    if total == 91:
-        z, sizes = 6, [16, 15, 15, 15, 15, 15]
-    else:
-        z, sizes = 4, [total // 4] * 4
-    return ExperimentConfig(
-        protocol=protocol,
-        num_clusters=z,
-        replicas_per_cluster=sizes[0],
-        cluster_sizes=sizes,
-        batch_size=100,
-        duration=SIM_DURATION,
-        warmup=SIM_WARMUP,
-        seed=seed,
-        record_count=10_000,
-        fast_crypto=True,
-    )
-
-
-def calibrate_host(rounds: int = 400_000) -> float:
-    """Pure-Python ops/s of this host — dict/tuple/arith mix.
-
-    The simulator's hot loop is interpreter-bound, so a small
-    interpreter-bound loop is the right normalizer for cross-machine
-    rate comparisons (C-extension speed, e.g. hashlib, matters far
-    less).
-    """
-    best = float("inf")
-    for _ in range(3):
-        d = {}
-        acc = 0
-        t0 = time.perf_counter()
-        for i in range(rounds):
-            d[i & 1023] = (i, acc)
-            acc += i * 3 // 2
-            if acc > 1 << 40:
-                acc &= (1 << 30) - 1
-        elapsed = time.perf_counter() - t0
-        if elapsed < best:
-            best = elapsed
-    return rounds / best
 
 
 def run_point(total: int, repeats: int = 1, profile: bool = False,
@@ -310,8 +257,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     payload = {
         "schema": SCHEMA,
-        "benchmark": "scale sweep (geobft, saturated, batch=100, "
-                     f"duration={SIM_DURATION}s)",
+        "benchmark": SCALE_BENCHMARK,
         "host": {
             "calibration_ops_per_s": round(calibration),
             "cpus": cpus,

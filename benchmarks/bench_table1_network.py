@@ -11,83 +11,20 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench.reporting import format_table
-from repro.net.network import Network
-from repro.net.simulator import Simulation
-from repro.net.topology import PAPER_REGIONS, Topology
-from repro.types import replica_id
+from repro.net.topology import PAPER_REGIONS
+from repro.sweep.reports import format_table1, probe_table1
 
-
-class _Probe:
-    """A measurement endpoint that echoes pings."""
-
-    def __init__(self, node_id, region, network):
-        self.node_id = node_id
-        self.region = region
-        self.network = network
-        self.received_at = {}
-        network.register(self)
-
-    def deliver(self, message, sender):
-        kind, ident, size = message
-        if kind == "ping":
-            self.network.send(self.node_id, sender,
-                              _Sized(("pong", ident, size)))
-        else:
-            self.received_at[ident] = self.network.simulation.now
-
-
-class _Sized(tuple):
-    def size_bytes(self):
-        return self[2]
-
-
-def _probe_pair(topology, region_a, region_b):
-    """Measure (rtt_ms, bandwidth_mbit) between two regions."""
-    sim = Simulation()
-    network = Network(sim, topology)
-    a = _Probe(replica_id(1, 1), region_a, network)
-    b = _Probe(replica_id(2, 1), region_b, network)
-    # Ping: 64-byte message both ways.
-    start = sim.now
-    network.send(a.node_id, b.node_id, _Sized(("ping", "p1", 64)))
-    sim.run()
-    rtt_ms = (a.received_at["p1"] - start) * 1000.0
-    # Bandwidth: time a 4 MB bulk transfer, subtract propagation.
-    size = 4_000_000
-    start = sim.now
-    network.send(a.node_id, b.node_id, _Sized(("data", "d1", size)))
-    sim.run()
-    elapsed = b.received_at["d1"] - start
-    transfer = elapsed - topology.latency(region_a, region_b)
-    bandwidth_mbit = size * 8 / transfer / 1e6
-    return rtt_ms, bandwidth_mbit
+from common import campaign_note
 
 
 def reproduce_table1():
-    topology = Topology.paper(6)
-    rtt_rows, bw_rows = [], []
-    measured = {}
-    for i, a in enumerate(PAPER_REGIONS):
-        rtt_row, bw_row = [a], [a]
-        for j, b in enumerate(PAPER_REGIONS):
-            if j < i:
-                rtt_row.append("")
-                bw_row.append("")
-                continue
-            rtt, bw = _probe_pair(topology, a, b)
-            measured[(a, b)] = (rtt, bw)
-            rtt_row.append(round(rtt, 1))
-            bw_row.append(round(bw))
-        rtt_rows.append(rtt_row)
-        bw_rows.append(bw_row)
-    header = ["region"] + [r[:3].upper() for r in PAPER_REGIONS]
+    """Shim over the ``table1`` campaign's probe matrix (the campaign
+    has no deployment runs — its report measures the network substrate
+    directly)."""
+    campaign_note("table1")
+    topology, measured = probe_table1()
     print()
-    print(format_table(header, rtt_rows,
-                       title="Table 1 (reproduced) — ping RTT (ms)"))
-    print()
-    print(format_table(header, bw_rows,
-                       title="Table 1 (reproduced) — bandwidth (Mbit/s)"))
+    print(format_table1(measured), end="")
     return topology, measured
 
 

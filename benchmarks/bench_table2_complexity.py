@@ -11,48 +11,28 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.complexity import analytic_complexity
-from repro.bench.reporting import format_table
+from repro.sweep import get_campaign, result_from_record, run_campaign
+from repro.sweep.reports import table2_measured
 
-from common import point_config, run_point
+from common import campaign_note
 
 Z, N = 4, 7
 PROTOCOLS = ("geobft", "pbft", "zyzzyva", "hotstuff", "steward")
 
 
-def _measured_counts(protocol):
-    """Per-decision local/global message counts from a short run."""
-    config = point_config(protocol, Z, N, batch_size=50, duration=1.2,
-                          warmup=0.3)
-    result = run_point(config)
-    decisions = max(1, result.completed_txns // config.batch_size)
-    return (result, result.local_messages / decisions,
-            result.global_messages / decisions)
-
-
 def reproduce_table2():
-    rows = []
+    """Shim over the registered ``table2`` campaign."""
+    campaign_note("table2")
+    outcome = run_campaign(get_campaign("table2"), jobs=1)
+    assert outcome.ok, outcome.summary()
     measured = {}
-    for protocol in PROTOCOLS:
-        analytic = analytic_complexity(protocol, Z, N)
-        result, local_pd, global_pd = _measured_counts(protocol)
-        measured[protocol] = (result, local_pd, global_pd)
-        rows.append([
-            protocol,
-            analytic.decisions_per_round,
-            round(analytic.per_decision_local()),
-            round(analytic.per_decision_global()),
-            round(local_pd, 1),
-            round(global_pd, 1),
-            analytic.centralized,
-        ])
+    for record in outcome.records:
+        protocol = record["tags"]["protocol"]
+        local_pd, global_pd = table2_measured(record)
+        measured[protocol] = (result_from_record(record),
+                              local_pd, global_pd)
     print()
-    print(format_table(
-        ["protocol", "decisions", "local (analytic)", "global (analytic)",
-         "local (measured)", "global (measured)", "centralized"],
-        rows,
-        title=f"Table 2 (reproduced) — messages per consensus decision, "
-              f"z={Z}, n={N}",
-    ))
+    print(outcome.artifacts["table2"], end="")
     return measured
 
 

@@ -7,6 +7,13 @@ the figure, while the *content* of the figure (the simulated
 throughput/latency series) is printed in the paper's format and checked
 against the paper's qualitative claims.
 
+The grids and point configurations now live in
+:mod:`repro.sweep.campaigns` — the figure scripts are thin shims over
+the registered campaigns (``python -m repro sweep --campaign fig10``
+runs the same DAG with pool fan-out and result-store caching).  This
+module re-exports the grid helpers for anything still importing them
+from here.
+
 Scale control
 -------------
 The paper's largest experiments use ``zn = 60`` replicas.  Simulating a
@@ -18,53 +25,31 @@ trend (set ``REPRO_BENCH_FULL=1`` for the paper's exact sizes, and
 
 from __future__ import annotations
 
-import os
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.bench.deployment import Deployment, ExperimentConfig
 from repro.bench.scenarios import apply_scenario
+from repro.sweep.campaigns import (  # noqa: F401  (re-exported surface)
+    PROTOCOLS,
+    batch_points,
+    cluster_size_points,
+    failure_points,
+    full_scale,
+    geo_scale_points,
+    point_config,
+    sim_duration,
+)
 
-FULL_SCALE = os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
-
-PROTOCOLS = ("geobft", "pbft", "zyzzyva", "hotstuff", "steward")
-
-
-def sim_duration(default: float) -> float:
-    """Simulated seconds per data point.
-
-    ``REPRO_BENCH_DURATION`` replaces every duration with an absolute
-    value; ``REPRO_BENCH_TIME_SCALE`` multiplies the per-figure defaults
-    (preserving their relative lengths — e.g. the longer primary-failure
-    recovery window stays proportionally longer).
-    """
-    override = os.environ.get("REPRO_BENCH_DURATION")
-    if override:
-        return float(override)
-    scale = float(os.environ.get("REPRO_BENCH_TIME_SCALE", "1.0"))
-    return default * scale
+#: Evaluated at import for back-compat; prefer ``full_scale()``.
+FULL_SCALE = full_scale()
 
 
-def point_config(protocol: str, num_clusters: int, replicas_per_cluster: int,
-                 batch_size: int = 100, duration: float = 1.6,
-                 warmup: float = 0.4, seed: int = 2,
-                 **overrides) -> ExperimentConfig:
-    """One figure data point, with benchmark-appropriate defaults."""
-    params = dict(
-        protocol=protocol,
-        num_clusters=num_clusters,
-        replicas_per_cluster=replicas_per_cluster,
-        batch_size=batch_size,
-        duration=sim_duration(duration),
-        warmup=warmup,
-        seed=seed,
-        record_count=10_000,
-        fast_crypto=True,
-    )
-    if "duration" in overrides:
-        overrides = dict(overrides)
-        overrides["duration"] = sim_duration(overrides["duration"])
-    params.update(overrides)
-    return ExperimentConfig(**params)
+def campaign_note(name: str) -> None:
+    """The deprecation note every migrated shim prints once per run."""
+    print(f"note: this script is a thin shim over the registered "
+          f"campaign {name!r}; prefer `python -m repro sweep "
+          f"--campaign {name}` (add --store DIR to cache points, "
+          f"--jobs N for pool fan-out).")
 
 
 def run_point(config: ExperimentConfig, scenario: str = "none",
@@ -87,33 +72,6 @@ def sweep(protocols: Iterable[str], points: Iterable[Tuple],
             config = make_config(protocol, point)
             results[protocol].append(run_point(config, scenario, fail_at))
     return results
-
-
-def geo_scale_points() -> List[Tuple[int, int]]:
-    """(z, n) pairs for Figure 10: fixed total replicas spread over a
-    growing number of regions."""
-    if FULL_SCALE:
-        total = 60
-        zs = [1, 2, 3, 4, 5, 6]
-    else:
-        total = 24
-        zs = [1, 2, 3, 4, 6]
-    return [(z, total // z) for z in zs]
-
-
-def cluster_size_points() -> List[int]:
-    """n values for Figure 11 (z = 4)."""
-    return [4, 7, 10, 12, 15] if FULL_SCALE else [4, 7, 10]
-
-
-def failure_points() -> List[int]:
-    """n values for Figure 12 (z = 4)."""
-    return [4, 7, 10, 12] if FULL_SCALE else [4, 7]
-
-
-def batch_points() -> List[int]:
-    """Batch sizes for Figure 13 (z = 4, n = 7)."""
-    return [10, 50, 100, 200, 300]
 
 
 def assert_shape(condition: bool, claim: str,

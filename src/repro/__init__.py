@@ -40,6 +40,8 @@ regenerate every table and figure of the paper.
 from .api import (
     PROTOCOLS,
     SCENARIOS,
+    Campaign,
+    CampaignOutcome,
     ChaosContext,
     CrashFault,
     Deployment,
@@ -58,18 +60,27 @@ from .api import (
     OmissionFault,
     ParallelRun,
     PartitionFault,
+    ReportSpec,
+    ResultStore,
+    RunSpec,
     TamperFault,
     WorkerInstrumentation,
     apply_scenario,
+    calibrate_host,
+    campaign_names,
     chaos_smoke_timeline,
     cluster_affinity_pairs,
     deployment_digest,
+    expand_grid,
     fault_from_dict,
+    get_campaign,
     load_trace_jsonl,
     lookahead_s,
     parallel_unsupported_reason,
     partition_clusters,
+    register_campaign,
     register_scenario,
+    run_campaign,
     run_experiment,
     run_parallel,
     scenario_names,
@@ -100,6 +111,8 @@ __all__ = [
     # stable API (repro.api)
     "PROTOCOLS",
     "SCENARIOS",
+    "Campaign",
+    "CampaignOutcome",
     "ChaosContext",
     "CrashFault",
     "Deployment",
@@ -118,18 +131,27 @@ __all__ = [
     "OmissionFault",
     "ParallelRun",
     "PartitionFault",
+    "ReportSpec",
+    "ResultStore",
+    "RunSpec",
     "TamperFault",
     "WorkerInstrumentation",
     "apply_scenario",
+    "calibrate_host",
+    "campaign_names",
     "chaos_smoke_timeline",
     "cluster_affinity_pairs",
     "deployment_digest",
+    "expand_grid",
     "fault_from_dict",
+    "get_campaign",
     "load_trace_jsonl",
     "lookahead_s",
     "parallel_unsupported_reason",
     "partition_clusters",
+    "register_campaign",
     "register_scenario",
+    "run_campaign",
     "run_experiment",
     "run_parallel",
     "scenario_names",

@@ -31,6 +31,16 @@ other internals, whose layout may change between versions:
   :class:`EquivocateFault`), :func:`apply_scenario` /
   :func:`register_scenario` for the named-scenario registry, and
   :class:`InvariantReport` from the post-run safety+liveness audit.
+* **Campaigns** — :class:`Campaign` / :class:`RunSpec` /
+  :class:`ReportSpec` (a DAG of deterministic runs plus the artifacts
+  regenerated from them), :func:`run_campaign` (DAG scheduler with a
+  worker-budget-governed process pool, returning a
+  :class:`CampaignOutcome`), :class:`ResultStore` (the digest-keyed
+  JSONL + SQLite result store), :func:`register_campaign` /
+  :func:`campaign_names` / :func:`get_campaign` for the campaign
+  registry (mirroring the scenario registry), and
+  :func:`calibrate_host` — the shared host-speed normalizer behind
+  cross-machine perf comparisons.
 
 Typical staged run::
 
@@ -96,6 +106,19 @@ from .net.chaos import (
     TamperFault,
     fault_from_dict,
 )
+from .sweep import (
+    Campaign,
+    CampaignOutcome,
+    ReportSpec,
+    ResultStore,
+    RunSpec,
+    calibrate_host,
+    campaign_names,
+    expand_grid,
+    get_campaign,
+    register_campaign,
+    run_campaign,
+)
 
 __all__ = [
     # experiments
@@ -138,4 +161,16 @@ __all__ = [
     "PartitionFault",
     "TamperFault",
     "fault_from_dict",
+    # campaigns
+    "Campaign",
+    "CampaignOutcome",
+    "ReportSpec",
+    "ResultStore",
+    "RunSpec",
+    "calibrate_host",
+    "campaign_names",
+    "expand_grid",
+    "get_campaign",
+    "register_campaign",
+    "run_campaign",
 ]

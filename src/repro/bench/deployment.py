@@ -44,6 +44,11 @@ from .metrics import Metrics
 
 PROTOCOLS = ("geobft", "pbft", "zyzzyva", "hotstuff", "steward")
 
+#: Version tag stamped on every serialized result row, so ad-hoc
+#: ``repro run --json`` output and sweep-store records share one
+#: versioned schema.  Bump when the row's fields change shape.
+RESULT_SCHEMA = "repro-result/1"
+
 
 @dataclass
 class ExperimentConfig:
@@ -174,9 +179,31 @@ class ExperimentResult:
         )
 
     def to_dict(self) -> Dict[str, object]:
-        """The result row as a plain dict (machine-readable results)."""
+        """The result row as a plain dict (machine-readable results).
+
+        Carries the :data:`RESULT_SCHEMA` version tag so store records
+        and ad-hoc ``--json`` output identify their shape; the digest
+        computation uses the raw ``asdict`` form and is unaffected.
+        """
         from dataclasses import asdict
-        return asdict(self)
+        row: Dict[str, object] = {"schema": RESULT_SCHEMA}
+        row.update(asdict(self))
+        return row
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ExperimentResult":
+        """Rebuild a result row from :meth:`to_dict` output.
+
+        Rejects rows from a different (future) schema version rather
+        than mis-parsing them.
+        """
+        schema = data.get("schema", RESULT_SCHEMA)
+        if schema != RESULT_SCHEMA:
+            raise ConfigurationError(
+                f"result row has schema {schema!r}; this version reads "
+                f"{RESULT_SCHEMA!r}")
+        fields = {k: v for k, v in data.items() if k != "schema"}
+        return cls(**fields)  # type: ignore[arg-type]
 
     def to_json(self, indent: Optional[int] = 2) -> str:
         """The result row as JSON (what ``repro run --json`` emits)."""

@@ -8,6 +8,10 @@ Commands:
   tables, and export Chrome trace_event + JSONL phase traces.
 * ``compare``  — run several protocols on the same deployment and print
   a comparison table.
+* ``sweep``    — run an experiment *campaign* (a DAG of runs) against a
+  digest-keyed result store, fanning ready runs across a process pool;
+  without ``--campaign`` the shared experiment flags define an ad-hoc
+  single-run campaign.
 * ``table1``   — print the Table 1 topology matrix the simulator uses.
 * ``table2``   — print the Table 2 analytic complexity comparison.
 
@@ -92,6 +96,30 @@ def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
                              "results are byte-identical either way)")
 
 
+def _add_output_args(parser: argparse.ArgumentParser, trace: bool = True,
+                     trace_aliases: bool = False,
+                     trace_default: str = "") -> None:
+    """The shared output surface: ``--json`` and the trace-export flags.
+
+    Defined once so ``run``, ``trace``, ``compare``, and ``sweep`` stay
+    flag-compatible.  ``trace_aliases`` keeps the ``trace`` command's
+    historical ``--out``/``--jsonl`` spellings working (same dests).
+    """
+    parser.add_argument("--json", action="store_true",
+                        help="print a machine-readable JSON document "
+                             "instead of the human-readable report")
+    if not trace:
+        return
+    out_flags = ["--trace-out"] + (["--out"] if trace_aliases else [])
+    parser.add_argument(*out_flags, dest="trace_out",
+                        default=trace_default,
+                        help="write a Chrome trace_event JSON file "
+                             "of consensus phase spans")
+    jsonl_flags = ["--trace-jsonl"] + (["--jsonl"] if trace_aliases else [])
+    parser.add_argument(*jsonl_flags, dest="trace_jsonl", default="",
+                        help="write raw phase events as JSON lines")
+
+
 def _arrange_faults(deployment, args, quiet: bool = False) -> None:
     """Apply ``--scenario`` and/or ``--faults`` to a built deployment."""
     from .bench.scenarios import apply_scenario
@@ -140,14 +168,17 @@ def _config_from_args(args, protocol: str,
     )
 
 
-def _export_traces(instr, trace_out: str, trace_jsonl: str) -> None:
+def _export_traces(instr, trace_out: str, trace_jsonl: str,
+                   quiet: bool = False) -> None:
     if trace_out:
         spans = instr.export_chrome_trace(trace_out)
-        print(f"  wrote {spans} trace events to {trace_out} "
-              f"(open with chrome://tracing or ui.perfetto.dev)")
+        if not quiet:
+            print(f"  wrote {spans} trace events to {trace_out} "
+                  f"(open with chrome://tracing or ui.perfetto.dev)")
     if trace_jsonl:
         lines = instr.export_jsonl(trace_jsonl)
-        print(f"  wrote {lines} phase events to {trace_jsonl}")
+        if not quiet:
+            print(f"  wrote {lines} phase events to {trace_jsonl}")
 
 
 def _print_observability(instr) -> None:
@@ -306,12 +337,21 @@ def _cmd_trace(args) -> int:
     def _run(instrument: bool):
         deployment = Deployment(
             _config_from_args(args, args.protocol, instrument=instrument))
-        _arrange_faults(deployment, args, quiet=instrument is False)
+        _arrange_faults(deployment, args,
+                        quiet=(instrument is False) or args.json)
         result = deployment.run()
         return deployment, result
 
     deployment, result = _run(instrument=True)
     instr = deployment.instrumentation
+    if args.json:
+        import json
+
+        _export_traces(instr, args.trace_out, args.trace_jsonl, quiet=True)
+        doc = result.to_dict()
+        doc["digest"] = deployment_digest(deployment, result)
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0 if _result_ok(deployment, result) else 1
     print(result.describe())
     print(format_latency_percentiles(result))
     print()
@@ -322,7 +362,7 @@ def _cmd_trace(args) -> int:
     print()
     print(format_runtime_telemetry(deployment))
     print()
-    _export_traces(instr, args.out, args.jsonl)
+    _export_traces(instr, args.trace_out, args.trace_jsonl)
     if deployment.invariants is not None and deployment.timeline is not None:
         print()
         print(deployment.invariants.describe())
@@ -356,8 +396,113 @@ def _cmd_compare(args) -> int:
         result = deployment.run()
         results.append(result)
         ok = ok and _result_ok(deployment, result)
+    if args.json:
+        import json
+
+        print(json.dumps([r.to_dict() for r in results],
+                         indent=2, sort_keys=True))
+        return 0 if ok else 1
     print(summarize_results(results))
     return 0 if ok else 1
+
+
+def _cmd_sweep(args) -> int:
+    """``repro sweep``: run a campaign DAG against the result store."""
+    import json
+
+    from .sweep import (Campaign, ResultStore, RunSpec, campaign_names,
+                        get_campaign, run_campaign)
+    from .sweep.reports import figure_records
+    from .sweep.store import compare_scale_baseline, scale_digest_parity
+
+    if args.list_campaigns:
+        rows = []
+        for name in campaign_names():
+            campaign = get_campaign(name)
+            rows.append([name, len(campaign.runs), len(campaign.reports),
+                         campaign.description])
+        print(format_table(["campaign", "runs", "reports", "description"],
+                           rows, title="registered campaigns"))
+        return 0
+
+    if args.campaign:
+        campaign = get_campaign(args.campaign)
+    else:
+        # Ad-hoc mode: the shared experiment flags define a single-run
+        # campaign, so one-off runs still land in the store.
+        faults = None
+        if args.faults:
+            from .net.chaos import FaultTimeline
+
+            faults = FaultTimeline.load(args.faults).to_dict()
+        spec = RunSpec(
+            run_id=f"adhoc/{args.protocol}",
+            config=_config_from_args(args, args.protocol),
+            scenario=args.scenario,
+            fail_at=args.fail_at,
+            faults=faults,
+            tags={"figure": "adhoc", "protocol": args.protocol})
+        campaign = Campaign(
+            name="adhoc",
+            description="single run built from the CLI experiment flags",
+            runs=(spec,))
+    if args.filter:
+        campaign = campaign.filtered(args.filter)
+
+    if args.list_runs:
+        for spec in campaign.toposort():
+            print(spec.describe())
+        return 0
+
+    store = ResultStore(args.store or None)
+    progress = None if args.json else print
+    with store:
+        outcome = run_campaign(campaign, store=store, jobs=args.jobs,
+                               cpu_budget=args.cpu_budget,
+                               rerun=args.rerun, progress=progress,
+                               partial=bool(args.filter))
+        failures: List[str] = []
+        if args.budget_s is not None:
+            for record in outcome.executed:
+                if (record["status"] == "ok"
+                        and record["wall_s"] > args.budget_s):
+                    failures.append(
+                        f"{record['run_id']}: wall {record['wall_s']:.1f}s "
+                        f"exceeds budget {args.budget_s:.1f}s")
+        scale_records = figure_records(outcome.records, "scale")
+        if scale_records:
+            failures += scale_digest_parity(scale_records)
+        if args.baseline:
+            if not scale_records:
+                failures.append(
+                    f"--baseline {args.baseline}: no scale-tagged records "
+                    "in this campaign to compare")
+            else:
+                with open(args.baseline, "r", encoding="utf-8") as fh:
+                    baseline = json.load(fh)
+                calibration = outcome.host.get("calibration_ops_per_s", 0)
+                failures += compare_scale_baseline(
+                    scale_records, calibration, baseline)
+
+    if args.artifacts:
+        os.makedirs(args.artifacts, exist_ok=True)
+        for name, content in sorted(outcome.artifacts.items()):
+            path = os.path.join(args.artifacts,
+                                outcome.artifact_names[name])
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(content)
+            if not args.json:
+                print(f"  wrote {path}")
+
+    if args.json:
+        doc = outcome.to_dict()
+        doc["failures"] = failures
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(outcome.summary())
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+    return 0 if outcome.ok and not failures else 1
 
 
 def _cmd_table1(_args) -> int:
@@ -440,17 +585,10 @@ def build_parser() -> argparse.ArgumentParser:
         "run", help="run one experiment")
     run_parser.add_argument("--protocol", "-p", choices=PROTOCOLS,
                             default="geobft")
-    run_parser.add_argument("--json", action="store_true",
-                            help="print the result as a JSON object "
-                                 "instead of the human-readable report")
     run_parser.add_argument("--traffic", action="store_true",
                             help="print per-region-link traffic report")
-    run_parser.add_argument("--trace-out", default="",
-                            help="write a Chrome trace_event JSON file "
-                                 "of consensus phase spans")
-    run_parser.add_argument("--trace-jsonl", default="",
-                            help="write raw phase events as JSON lines")
     _add_experiment_args(run_parser)
+    _add_output_args(run_parser)
     run_parser.set_defaults(handler=_cmd_run)
 
     trace_parser = commands.add_parser(
@@ -458,11 +596,6 @@ def build_parser() -> argparse.ArgumentParser:
                       "consensus-phase traces")
     trace_parser.add_argument("--protocol", "-p", choices=PROTOCOLS,
                               default="geobft")
-    trace_parser.add_argument("--out", default="trace.json",
-                              help="Chrome trace_event output path")
-    trace_parser.add_argument("--jsonl", default="",
-                              help="also write raw phase events as "
-                                   "JSON lines")
     trace_parser.add_argument("--assert-determinism", action="store_true",
                               help="re-run without instrumentation and "
                                    "fail unless results are identical")
@@ -472,6 +605,8 @@ def build_parser() -> argparse.ArgumentParser:
                                    "existing JSONL trace instead of "
                                    "running an experiment")
     _add_experiment_args(trace_parser)
+    _add_output_args(trace_parser, trace_aliases=True,
+                     trace_default="trace.json")
     trace_parser.set_defaults(handler=_cmd_trace)
 
     compare_parser = commands.add_parser(
@@ -481,7 +616,60 @@ def build_parser() -> argparse.ArgumentParser:
         default=list(PROTOCOLS),
         help="comma-separated protocol list")
     _add_experiment_args(compare_parser)
+    _add_output_args(compare_parser, trace=False)
     compare_parser.set_defaults(handler=_cmd_compare)
+
+    sweep_parser = commands.add_parser(
+        "sweep", help="run an experiment campaign (a DAG of runs) "
+                      "against the digest-keyed result store")
+    sweep_parser.add_argument("--campaign", "-c", default="",
+                              metavar="NAME",
+                              help="registered campaign to run "
+                                   "(see --list-campaigns); omit to run "
+                                   "an ad-hoc single-run campaign from "
+                                   "the experiment flags")
+    sweep_parser.add_argument("--filter", default="", metavar="SUBSTR",
+                              help="keep only runs whose id contains "
+                                   "this substring (dependencies are "
+                                   "pulled in automatically)")
+    sweep_parser.add_argument("--jobs", "-j", type=int, default=1,
+                              help="worker processes for the campaign "
+                                   "pool (1 = run inline)")
+    sweep_parser.add_argument("--store", default="", metavar="DIR",
+                              help="result-store directory (JSONL + "
+                                   "SQLite index); empty = in-memory, "
+                                   "nothing cached across invocations")
+    sweep_parser.add_argument("--artifacts", default="", metavar="DIR",
+                              help="write the campaign's report "
+                                   "artifacts (figures, tables, "
+                                   "BENCH_scale.json) here")
+    sweep_parser.add_argument("--rerun", action="store_true",
+                              help="execute every run even when the "
+                                   "store already has its record")
+    sweep_parser.add_argument("--cpu-budget", type=int, default=None,
+                              help="cap on concurrently-used engine "
+                                   "workers across the pool (default: "
+                                   "host CPU count)")
+    sweep_parser.add_argument("--budget-s", type=float, default=None,
+                              help="absolute wall-time budget per "
+                                   "executed run (seconds)")
+    sweep_parser.add_argument("--baseline", default="", metavar="FILE",
+                              help="compare scale-tagged records "
+                                   "against this BENCH_scale.json "
+                                   "(digest drift + calibrated rate)")
+    sweep_parser.add_argument("--list-campaigns", action="store_true",
+                              help="print the campaign registry and "
+                                   "exit")
+    sweep_parser.add_argument("--list-runs", action="store_true",
+                              help="print the campaign's runs in "
+                                   "schedule order and exit")
+    sweep_parser.add_argument("--protocol", "-p", choices=PROTOCOLS,
+                              default="geobft",
+                              help="protocol for the ad-hoc single-run "
+                                   "mode")
+    _add_experiment_args(sweep_parser)
+    _add_output_args(sweep_parser, trace=False)
+    sweep_parser.set_defaults(handler=_cmd_sweep)
 
     table1_parser = commands.add_parser(
         "table1", help="print the Table 1 WAN matrix")

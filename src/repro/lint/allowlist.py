@@ -60,4 +60,26 @@ ALLOWLIST: List[AllowlistEntry] = [
             "never executes inside the simulation."
         ),
     ),
+    AllowlistEntry(
+        rule="no-wallclock",
+        path="repro/sweep/calibrate.py",
+        symbol=None,
+        justification=(
+            "Host calibration is by definition a wall-clock measurement: "
+            "it times a pure-Python loop on the host to normalize "
+            "cross-machine perf comparisons, and never runs inside "
+            "simulated time."
+        ),
+    ),
+    AllowlistEntry(
+        rule="no-wallclock",
+        path="repro/sweep/runner.py",
+        symbol=None,
+        justification=(
+            "The sweep runner times *host* execution of each run (the "
+            "wall_s/events_per_s fields the perf gates compare after "
+            "host calibration); the reads bracket a whole simulation "
+            "and never execute inside simulated time."
+        ),
+    ),
 ]

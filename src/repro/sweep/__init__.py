@@ -1,0 +1,64 @@
+"""Experiment-campaign orchestration: DAGs of deterministic runs.
+
+The sweep package turns the repo's bespoke benchmark scripts into data:
+a :class:`Campaign` is a DAG of :class:`RunSpec` nodes (grid expansion
+plus explicit dependencies), a scheduler fans ready runs across a
+process pool without oversubscribing the host, and a
+:class:`ResultStore` keys every completed run by a config digest so a
+warm campaign re-run executes nothing.  Figures, tables, and the
+``BENCH_scale.json`` perf baseline regenerate byte-identically from the
+store.
+
+Entry points: ``repro sweep --campaign <name>`` on the CLI, or
+:func:`run_campaign` / :func:`get_campaign` from code.
+"""
+
+from .calibrate import calibrate_host, host_info
+from .campaigns import (PROTOCOLS, batch_points, campaign_names,
+                        cluster_size_points, failure_points, full_scale,
+                        geo_scale_points, get_campaign, point_config,
+                        register_campaign, scale_config, sim_duration)
+from .model import (Campaign, ReportSpec, RunSpec, SWEEP_SCHEMA,
+                    config_fingerprint, expand_grid, record_series,
+                    result_from_record)
+from .runner import execute_run
+from .scheduler import (CampaignOutcome, SweepScheduler, WorkerBudget,
+                        engine_workers, run_campaign)
+from .store import (ResultStore, import_bench_scale, render_bench_scale,
+                    scale_point_from_record, scale_run_id)
+
+__all__ = [
+    "Campaign",
+    "CampaignOutcome",
+    "PROTOCOLS",
+    "ReportSpec",
+    "ResultStore",
+    "RunSpec",
+    "SWEEP_SCHEMA",
+    "SweepScheduler",
+    "WorkerBudget",
+    "batch_points",
+    "calibrate_host",
+    "campaign_names",
+    "cluster_size_points",
+    "config_fingerprint",
+    "engine_workers",
+    "execute_run",
+    "expand_grid",
+    "failure_points",
+    "full_scale",
+    "geo_scale_points",
+    "get_campaign",
+    "host_info",
+    "import_bench_scale",
+    "point_config",
+    "record_series",
+    "register_campaign",
+    "render_bench_scale",
+    "result_from_record",
+    "run_campaign",
+    "scale_config",
+    "scale_point_from_record",
+    "scale_run_id",
+    "sim_duration",
+]

@@ -46,7 +46,14 @@ class TestResultSerialization:
         data = result.to_dict()
         assert data["protocol"] == "geobft"
         assert data["liveness_ok"] is True
-        assert repro.ExperimentResult(**data) == result
+        assert data["schema"] == "repro-result/1"
+        assert repro.ExperimentResult.from_dict(data) == result
+
+    def test_from_dict_rejects_unknown_schema(self):
+        data = self._result().to_dict()
+        data["schema"] = "repro-result/999"
+        with pytest.raises(Exception):
+            repro.ExperimentResult.from_dict(data)
 
     def test_to_json_is_stable(self):
         result = self._result()

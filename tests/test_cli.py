@@ -117,9 +117,17 @@ class TestObservability:
 
     def test_trace_defaults(self):
         args = build_parser().parse_args(["trace"])
-        assert args.out == "trace.json"
+        assert args.trace_out == "trace.json"
         assert not args.assert_determinism
         assert args.summary == ""
+
+    def test_trace_legacy_aliases(self):
+        # --out/--jsonl remain aliases of --trace-out/--trace-jsonl so
+        # historical invocations (CI, docs) keep working.
+        args = build_parser().parse_args(
+            ["trace", "--out", "a.json", "--jsonl", "b.jsonl"])
+        assert args.trace_out == "a.json"
+        assert args.trace_jsonl == "b.jsonl"
 
     def test_run_workers_writes_merged_trace(self, capsys, tmp_path):
         # Tracing no longer forces the serial engine: a --workers run
