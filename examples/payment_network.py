@@ -10,48 +10,19 @@ are encoded as read-modify-write transactions on the YCSB-style table
 so deterministic execution (§2.4) guarantees every replica derives the
 same account histories.
 
-It also demonstrates extending the client API: a custom workload class
-plugs into :class:`repro.QuorumClient` by implementing ``next_batch``.
+The payment generator now lives in the library
+(:class:`repro.PaymentWorkload`) and is registered as the
+``payment_network`` scenario, so the same workload is reachable from
+``repro run --scenario payment_network`` and the overload campaign; this
+example applies the scenario through the public API and audits the
+resulting account state.
 
 Run with:  python examples/payment_network.py
 """
 
-import random
-
-from repro import Deployment, ExperimentConfig, Transaction
-
-NUM_ACCOUNTS = 200
-
-
-class PaymentWorkload:
-    """Generates transfer instructions instead of raw YCSB updates.
-
-    Duck-types the piece of :class:`repro.YcsbWorkload` the client uses:
-    ``next_batch(size, prefix)``.
-    """
-
-    def __init__(self, branch: str, seed: int):
-        self._branch = branch
-        self._rng = random.Random(seed)
-        self._counter = 0
-
-    def next_batch(self, size: int, prefix: str = "") -> tuple:
-        batch = []
-        for _ in range(size):
-            self._counter += 1
-            src = self._rng.randrange(NUM_ACCOUNTS)
-            dst = self._rng.randrange(NUM_ACCOUNTS)
-            amount = self._rng.randint(1, 500)
-            # A transfer appends a journal entry to the source account's
-            # record (read-modify-write keeps execution order-sensitive,
-            # so non-divergence is actually exercised).
-            batch.append(Transaction(
-                txn_id=f"{prefix}pay{self._counter}",
-                op="modify",
-                key=src,
-                value=f"{self._branch}->acct{dst}:{amount}",
-            ))
-        return tuple(batch)
+from repro import Deployment, ExperimentConfig
+from repro.api import apply_scenario
+from repro.workload.payment import DEFAULT_ACCOUNTS
 
 
 def main() -> None:
@@ -64,17 +35,15 @@ def main() -> None:
         client_outstanding=3,
         duration=3.0,
         warmup=0.5,
-        record_count=NUM_ACCOUNTS,
+        record_count=DEFAULT_ACCOUNTS,
         fast_crypto=True,
         seed=17,
     )
     deployment = Deployment(config)
 
-    # Swap every client's workload for the payment generator.  Clients
-    # in cluster 1 are Oregon branches, cluster 2 Iowa branches.
-    for i, client in enumerate(deployment.clients):
-        branch = "OR" if client.node_id.cluster == 1 else "IA"
-        client._workload = PaymentWorkload(branch, seed=100 + i)
+    # Swap every client's workload for the payment generator: clients
+    # in cluster 1 become Oregon branches, cluster 2 Iowa branches.
+    apply_scenario(deployment, "payment_network")
 
     result = deployment.run()
     print("=== Geo-distributed payment network (GeoBFT) ===")

@@ -63,7 +63,11 @@ from .api import (
     ReportSpec,
     ResultStore,
     RunSpec,
+    TRAFFIC_PROCESSES,
     TamperFault,
+    TrafficSpec,
+    OpenLoopSource,
+    PaymentWorkload,
     WorkerInstrumentation,
     apply_scenario,
     calibrate_host,
@@ -84,6 +88,7 @@ from .api import (
     run_experiment,
     run_parallel,
     scenario_names,
+    traffic_summary,
 )
 from .bench.charts import ascii_chart, bar_chart
 from .bench.metrics import Metrics
@@ -134,7 +139,11 @@ __all__ = [
     "ReportSpec",
     "ResultStore",
     "RunSpec",
+    "TRAFFIC_PROCESSES",
     "TamperFault",
+    "TrafficSpec",
+    "OpenLoopSource",
+    "PaymentWorkload",
     "WorkerInstrumentation",
     "apply_scenario",
     "calibrate_host",
@@ -155,6 +164,7 @@ __all__ = [
     "run_experiment",
     "run_parallel",
     "scenario_names",
+    "traffic_summary",
     # convenience re-exports (layout may change)
     "Metrics",
     "HotStuffReplica",

@@ -31,6 +31,14 @@ other internals, whose layout may change between versions:
   :class:`EquivocateFault`), :func:`apply_scenario` /
   :func:`register_scenario` for the named-scenario registry, and
   :class:`InvariantReport` from the post-run safety+liveness audit.
+* **Workloads & open-loop traffic** — :class:`TrafficSpec` (aggregate
+  arrival-process spec: ``"poisson:users=1000000,rate=0.002"``; set it
+  as ``ExperimentConfig(traffic=...)`` to replace the closed-loop
+  clients with one :class:`OpenLoopSource` per region, modeling any
+  user population in O(arrivals)), :func:`traffic_summary` (the
+  offered/goodput/abandonment block on ``ExperimentResult.traffic``),
+  and :class:`PaymentWorkload` — the conflict-bearing interbank
+  transfer generator behind the ``payment_network`` scenario.
 * **Campaigns** — :class:`Campaign` / :class:`RunSpec` /
   :class:`ReportSpec` (a DAG of deterministic runs plus the artifacts
   regenerated from them), :func:`run_campaign` (DAG scheduler with a
@@ -106,6 +114,13 @@ from .net.chaos import (
     TamperFault,
     fault_from_dict,
 )
+from .workload.payment import PaymentWorkload
+from .workload.traffic import (
+    TRAFFIC_PROCESSES,
+    OpenLoopSource,
+    TrafficSpec,
+    traffic_summary,
+)
 from .sweep import (
     Campaign,
     CampaignOutcome,
@@ -161,6 +176,12 @@ __all__ = [
     "PartitionFault",
     "TamperFault",
     "fault_from_dict",
+    # workloads & open-loop traffic
+    "PaymentWorkload",
+    "TRAFFIC_PROCESSES",
+    "OpenLoopSource",
+    "TrafficSpec",
+    "traffic_summary",
     # campaigns
     "Campaign",
     "CampaignOutcome",

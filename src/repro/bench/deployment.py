@@ -37,6 +37,8 @@ from ..net.simulator import Simulation
 from ..net.topology import Topology
 from ..types import ClusterId, NodeId, client_id, max_faulty, replica_id
 from ..workload.client import QuorumClient
+from ..workload.traffic import (OpenLoopSource, TrafficSpec, split_users,
+                                traffic_summary)
 from ..workload.ycsb import YcsbWorkload
 from ..crypto.digests import encoding_cache_stats
 from .instrumentation import Instrumentation
@@ -99,8 +101,16 @@ class ExperimentConfig:
     #: are merged deterministically at run end.  The deployment digest
     #: is identical either way.
     workers: int = 1
+    #: Open-loop aggregate traffic: a :class:`TrafficSpec` (or its
+    #: ``"process:key=value,..."`` string / dict form) replaces the
+    #: closed-loop ``clients_per_cluster`` clients with one
+    #: :class:`OpenLoopSource` per region, modeling ``spec.users``
+    #: users in O(arrivals).  ``None`` (the default) keeps the
+    #: closed-loop clients — and their byte-identical digests.
+    traffic: Optional[TrafficSpec] = None
 
     def __post_init__(self) -> None:
+        self.traffic = TrafficSpec.from_value(self.traffic)
         if self.protocol not in PROTOCOLS:
             raise ConfigurationError(
                 f"unknown protocol {self.protocol!r}; expected {PROTOCOLS}"
@@ -166,17 +176,33 @@ class ExperimentResult:
     #: Whether throughput resumed after every expected-recoverable fault
     #: window (always True when no fault timeline was installed).
     liveness_ok: bool = True
+    #: Open-loop traffic block (modeled users, offered load, goodput,
+    #: abandonment, retries) — ``None`` on closed-loop runs, and then
+    #: omitted from ``to_dict``/digest payloads so every pre-traffic
+    #: golden digest is unchanged.
+    traffic: Optional[Dict[str, object]] = None
 
     def describe(self) -> str:
         """One human-readable line, roughly a figure data point."""
         liveness = "" if self.liveness_ok else "  liveness=STALLED"
-        return (
+        line = (
             f"{self.protocol:>9}  z={self.num_clusters} "
             f"n={self.replicas_per_cluster} batch={self.batch_size}  "
             f"tput={self.throughput_txn_s:>10.0f} txn/s  "
             f"lat={self.avg_latency_s:7.3f} s  "
             f"safety={'ok' if self.safety_ok else 'VIOLATED'}{liveness}"
         )
+        if self.traffic is not None:
+            t = self.traffic
+            line += (
+                f"\n  open-loop: {t['modeled_users']:,} users "
+                f"({t['process']})  offered {t['offered_txn_s']:,.0f} "
+                f"txn/s  goodput {t['goodput_txn_s']:,.0f} txn/s  "
+                f"rejected {t['rejected_txns']:,}  "
+                f"abandoned {t['abandoned_txns']:,}  "
+                f"retried {t['retried_batches']:,} batches"
+            )
+        return line
 
     def to_dict(self) -> Dict[str, object]:
         """The result row as a plain dict (machine-readable results).
@@ -188,6 +214,8 @@ class ExperimentResult:
         from dataclasses import asdict
         row: Dict[str, object] = {"schema": RESULT_SCHEMA}
         row.update(asdict(self))
+        if row.get("traffic") is None:
+            del row["traffic"]
         return row
 
     @classmethod
@@ -390,6 +418,53 @@ class Deployment:
             view_change_timeout=cfg.view_change_timeout,
         )
 
+    def _make_traffic_sources(self, primary_for, fallback_for, quorum_for,
+                              mode: str = "quorum",
+                              members=None) -> None:
+        """Create one open-loop aggregate source per cluster.
+
+        Takes the same target/quorum callables as
+        :meth:`_make_quorum_clients`; the modeled population is split
+        evenly over the regions (sources are region-affine, which is
+        what lets each parallel worker own its region's arrivals).
+        """
+        cfg = self.config
+        spec = cfg.traffic
+        assert spec is not None
+        shares = split_users(spec.users, cfg.num_clusters)
+        salt = 50_000
+        for c in sorted(self.cluster_members):
+            salt += 1
+            source = OpenLoopSource(
+                node_id=client_id(c, 1),
+                region=self._region_of(c),
+                sim=self.sim,
+                network=self.network,
+                registry=self.registry,
+                workload=self._workload(salt),
+                batch_size=cfg.batch_size,
+                spec=spec,
+                users=shares[c - 1],
+                seed=cfg.seed,
+                mode=mode,
+                primary_targets=primary_for(c, 1),
+                fallback_targets=fallback_for(c, 1),
+                reply_quorum=quorum_for(c, 1),
+                members=members,
+                metrics=self.metrics,
+            )
+            self.clients.append(source)
+
+    def _make_drivers(self, primary_for, fallback_for,
+                      quorum_for) -> None:
+        """Closed-loop clients, or open-loop sources when configured."""
+        if self.config.traffic is not None:
+            self._make_traffic_sources(primary_for, fallback_for,
+                                       quorum_for)
+        else:
+            self._make_quorum_clients(primary_for, fallback_for,
+                                      quorum_for)
+
     def _make_quorum_clients(self, primary_for, fallback_for,
                              quorum_for) -> None:
         """Create ``clients_per_cluster`` clients per cluster.
@@ -456,7 +531,7 @@ class Deployment:
                     instrumentation=self.instrumentation,
                     threshold_schemes=schemes,
                 )
-        self._make_quorum_clients(
+        self._make_drivers(
             primary_for=lambda c, j: [self.cluster_members[c][0]],
             fallback_for=lambda c, j: list(self.cluster_members[c]),
             quorum_for=lambda c, j: max_faulty(
@@ -483,7 +558,7 @@ class Deployment:
                     instrumentation=self.instrumentation,
                 )
         big_f = max_faulty(len(members))
-        self._make_quorum_clients(
+        self._make_drivers(
             primary_for=lambda c, j: [members[0]],
             fallback_for=lambda c, j: list(members),
             quorum_for=lambda c, j: big_f + 1,
@@ -507,6 +582,15 @@ class Deployment:
                     metrics=self.metrics,
                     instrumentation=self.instrumentation,
                 )
+        if cfg.traffic is not None:
+            self._make_traffic_sources(
+                primary_for=lambda c, j: [members[0]],
+                fallback_for=lambda c, j: list(members),
+                quorum_for=lambda c, j: max_faulty(len(members)) + 1,
+                mode="zyzzyva",
+                members=members,
+            )
+            return
         salt = 10_000
         for c in sorted(self.cluster_members):
             for j in range(1, cfg.clients_per_cluster + 1):
@@ -548,7 +632,7 @@ class Deployment:
                     instrumentation=self.instrumentation,
                 )
         big_f = max_faulty(len(members))
-        self._make_quorum_clients(
+        self._make_drivers(
             # Home replica: round-robin within the client's own region.
             primary_for=lambda c, j: [
                 self.cluster_members[c][
@@ -578,7 +662,7 @@ class Deployment:
                     metrics=self.metrics,
                     instrumentation=self.instrumentation,
                 )
-        self._make_quorum_clients(
+        self._make_drivers(
             primary_for=lambda c, j: [self.cluster_members[c][0]],
             fallback_for=lambda c, j: list(self.cluster_members[c]),
             quorum_for=lambda c, j: max_faulty(
@@ -616,6 +700,8 @@ class Deployment:
             measured_submitted_txns=self.metrics.measured_submitted_txns,
             offered_load_txn_s=self.metrics.offered_load_txn_s(),
             liveness_ok=report.liveness_ok,
+            traffic=(traffic_summary(self.metrics, self.config.traffic)
+                     if self.config.traffic is not None else None),
         )
 
     def encoding_cache_delta(self) -> Dict[str, int]:
@@ -730,9 +816,15 @@ def digest_from_parts(result: ExperimentResult, events_processed: int,
     import json
     from dataclasses import asdict
 
+    result_row = asdict(result)
+    if result_row.get("traffic") is None:
+        # Closed-loop runs omit the traffic block entirely: the payload
+        # (and so every pre-traffic golden digest) is byte-identical to
+        # a result without the field.
+        result_row.pop("traffic", None)
     payload = json.dumps(
         {
-            "result": asdict(result),
+            "result": result_row,
             "events_processed": events_processed,
             "ledgers": sorted(tuple(row) for row in ledgers),
         },

@@ -41,6 +41,16 @@ class Metrics:
         self._latency_histogram = LatencyHistogram()
         self._completions: List[Tuple[float, int]] = []
 
+        # Open-loop traffic accounting (zero on closed-loop runs).
+        self._offered_txns = 0
+        self._measured_offered_txns = 0
+        self._rejected_txns = 0
+        self._measured_rejected_txns = 0
+        self._abandoned_txns = 0
+        self._measured_abandoned_txns = 0
+        self._retried_batches = 0
+        self._measured_retried_batches = 0
+
         # Replica-side accounting.
         self._executed_txns: Dict[NodeId, int] = defaultdict(int)
         self._rounds: Dict[NodeId, int] = defaultdict(int)
@@ -78,6 +88,34 @@ class Metrics:
             self._measured_completed_txns += txns
             self._latencies.append(latency)
             self._latency_histogram.record(latency)
+
+    def record_offered(self, client: NodeId, txns: int,
+                       now: float) -> None:
+        """An open-loop source saw ``txns`` arrivals (pre-admission)."""
+        self._offered_txns += txns
+        if now >= self._warmup:
+            self._measured_offered_txns += txns
+
+    def record_rejected(self, client: NodeId, txns: int,
+                        now: float) -> None:
+        """Arrivals turned away by admission control."""
+        self._rejected_txns += txns
+        if now >= self._warmup:
+            self._measured_rejected_txns += txns
+
+    def record_abandoned(self, client: NodeId, txns: int,
+                         now: float) -> None:
+        """In-flight transactions given up after the retry budget."""
+        self._abandoned_txns += txns
+        if now >= self._warmup:
+            self._measured_abandoned_txns += txns
+
+    def record_retried(self, client: NodeId, batches: int,
+                       now: float) -> None:
+        """Request batches re-sent after a deadline timeout."""
+        self._retried_batches += batches
+        if now >= self._warmup:
+            self._measured_retried_batches += batches
 
     def record_executed(self, replica: NodeId, txns: int,
                         now: float) -> None:
@@ -206,6 +244,26 @@ class Metrics:
         """Transactions submitted after the warmup horizon."""
         return self._measured_submitted_txns
 
+    @property
+    def measured_offered_txns(self) -> int:
+        """Open-loop arrivals after the warmup horizon."""
+        return self._measured_offered_txns
+
+    @property
+    def measured_rejected_txns(self) -> int:
+        """Admission-rejected arrivals after the warmup horizon."""
+        return self._measured_rejected_txns
+
+    @property
+    def measured_abandoned_txns(self) -> int:
+        """Abandoned transactions after the warmup horizon."""
+        return self._measured_abandoned_txns
+
+    @property
+    def measured_retried_batches(self) -> int:
+        """Retried request batches after the warmup horizon."""
+        return self._measured_retried_batches
+
     def executed_txns(self, replica: NodeId) -> int:
         """Transactions executed at one replica."""
         return self._executed_txns.get(replica, 0)
@@ -287,6 +345,14 @@ def merge_worker_metrics(parts: List[WorkerMetrics], warmup: float,
         completions.extend(part.completion_log)
         merged._submitted_txns += part._submitted_txns
         merged._measured_submitted_txns += part._measured_submitted_txns
+        merged._offered_txns += part._offered_txns
+        merged._measured_offered_txns += part._measured_offered_txns
+        merged._rejected_txns += part._rejected_txns
+        merged._measured_rejected_txns += part._measured_rejected_txns
+        merged._abandoned_txns += part._abandoned_txns
+        merged._measured_abandoned_txns += part._measured_abandoned_txns
+        merged._retried_batches += part._retried_batches
+        merged._measured_retried_batches += part._measured_retried_batches
         for node, count in part._executed_txns.items():
             merged._executed_txns[node] += count
         for node, count in part._rounds.items():

@@ -63,6 +63,7 @@ from ..net.topology import Topology
 from .deployment import (Deployment, ExperimentConfig, ExperimentResult,
                          InvariantReport, digest_from_parts)
 from .instrumentation import Instrumentation, WorkerInstrumentation
+from ..workload.traffic import traffic_summary
 from .metrics import Metrics, WorkerMetrics, merge_worker_metrics
 
 #: Scenarios that resolve their victims at install time against the
@@ -70,7 +71,7 @@ from .metrics import Metrics, WorkerMetrics, merge_worker_metrics
 #: others (e.g. ``chaos_smoke``) install live-selector timelines whose
 #: resolution depends on mid-run state a single worker cannot see.
 PARALLEL_SAFE_SCENARIOS = frozenset(
-    {"none", "one_backup", "f_backups", "primary"})
+    {"none", "one_backup", "f_backups", "primary", "payment_network"})
 
 #: Selector prefixes that resolve against *live* deployment state
 #: (current primary / current backups) rather than static topology.
@@ -661,6 +662,8 @@ def _merge(config: ExperimentConfig, summaries: List[dict],
         measured_submitted_txns=metrics.measured_submitted_txns,
         offered_load_txn_s=metrics.offered_load_txn_s(),
         liveness_ok=report.liveness_ok,
+        traffic=(traffic_summary(metrics, config.traffic)
+                 if config.traffic is not None else None),
     )
     instrumentation: Optional[Instrumentation] = None
     if config.instrument:

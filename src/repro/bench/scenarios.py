@@ -182,11 +182,31 @@ def _scenario_chaos_smoke(deployment: Deployment,
     return []
 
 
+def _scenario_payment_network(deployment: Deployment,
+                              fail_at: float) -> List[NodeId]:
+    """Swap every driver's workload for interbank payment transfers.
+
+    Not a fault scenario: it retargets the workload (``fail_at`` is
+    ignored) at the conflict-bearing read-modify-write payment
+    generator, with each driver branded as a branch of its region.  The
+    swap resolves at build time against the (identical) initial client
+    list, so it is parallel-safe — workers brand the same drivers with
+    the same seeds.
+    """
+    from ..workload.payment import DEFAULT_ACCOUNTS, PaymentWorkload
+    accounts = min(DEFAULT_ACCOUNTS, deployment.config.record_count)
+    for i, client in enumerate(deployment.clients):
+        client._workload = PaymentWorkload(
+            client.region, seed=100 + i, accounts=accounts)
+    return []
+
+
 register_scenario("none", _scenario_none)
 register_scenario("one_backup", _scenario_one_backup)
 register_scenario("f_backups", _scenario_f_backups)
 register_scenario("primary", _scenario_primary)
 register_scenario("chaos_smoke", _scenario_chaos_smoke)
+register_scenario("payment_network", _scenario_payment_network)
 
 
 def apply_scenario(deployment: Deployment, scenario: str,

@@ -71,7 +71,15 @@ def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--warmup", "-w", type=float, default=0.5,
                         help="simulated warmup excluded from rates")
     parser.add_argument("--clients", type=int, default=4,
-                        help="clients per cluster")
+                        help="clients per cluster (closed-loop; ignored "
+                             "when --traffic is set)")
+    parser.add_argument("--traffic", default="", metavar="SPEC",
+                        help="open-loop aggregate traffic spec "
+                             "('process:key=value,...', e.g. "
+                             "'poisson:users=1000000,rate=0.002'); "
+                             "replaces the closed-loop clients with one "
+                             "arrival source per region (see "
+                             "docs/workloads.md)")
     parser.add_argument("--seed", type=int, default=1,
                         help="deterministic experiment seed")
     # Registry names, not a closed choices= tuple: scenarios registered
@@ -165,6 +173,7 @@ def _config_from_args(args, protocol: str,
         fast_crypto=not args.real_crypto,
         instrument=instrument,
         workers=getattr(args, "workers", 1),
+        traffic=getattr(args, "traffic", "") or None,
     )
 
 
@@ -252,7 +261,7 @@ def _cmd_parallel_run(args, config) -> Optional[int]:
         _print_observability(run.instrumentation)
         _export_traces(run.instrumentation, args.trace_out,
                        args.trace_jsonl)
-    if args.traffic:
+    if args.link_report:
         from .analysis.traffic import format_link_report, link_usage
         rows = link_usage(run.metrics, config.resolved_topology(),
                           window=result.duration)
@@ -291,7 +300,7 @@ def _cmd_run(args) -> int:
         _print_observability(deployment.instrumentation)
         _export_traces(deployment.instrumentation, args.trace_out,
                        args.trace_jsonl)
-    if args.traffic:
+    if args.link_report:
         from .analysis.traffic import format_link_report, link_usage
         rows = link_usage(deployment.metrics, deployment.topology,
                           window=result.duration)
@@ -412,8 +421,10 @@ def _cmd_sweep(args) -> int:
 
     from .sweep import (Campaign, ResultStore, RunSpec, campaign_names,
                         get_campaign, run_campaign)
-    from .sweep.reports import figure_records
-    from .sweep.store import compare_scale_baseline, scale_digest_parity
+    from .sweep.reports import chaos_audit_failures, figure_records
+    from .sweep.store import (compare_overload_baseline,
+                              compare_scale_baseline,
+                              overload_digest_parity, scale_digest_parity)
 
     if args.list_campaigns:
         rows = []
@@ -483,6 +494,22 @@ def _cmd_sweep(args) -> int:
                 calibration = outcome.host.get("calibration_ops_per_s", 0)
                 failures += compare_scale_baseline(
                     scale_records, calibration, baseline)
+        overload_records = figure_records(outcome.records, "overload")
+        if overload_records:
+            failures += overload_digest_parity(overload_records)
+        if args.overload_baseline:
+            if not overload_records:
+                failures.append(
+                    f"--overload-baseline {args.overload_baseline}: no "
+                    "overload-tagged records in this campaign to compare")
+            else:
+                with open(args.overload_baseline, "r",
+                          encoding="utf-8") as fh:
+                    baseline = json.load(fh)
+                calibration = outcome.host.get("calibration_ops_per_s", 0)
+                failures += compare_overload_baseline(
+                    overload_records, calibration, baseline)
+        failures += chaos_audit_failures(outcome.records)
 
     if args.artifacts:
         os.makedirs(args.artifacts, exist_ok=True)
@@ -585,7 +612,7 @@ def build_parser() -> argparse.ArgumentParser:
         "run", help="run one experiment")
     run_parser.add_argument("--protocol", "-p", choices=PROTOCOLS,
                             default="geobft")
-    run_parser.add_argument("--traffic", action="store_true",
+    run_parser.add_argument("--link-report", action="store_true",
                             help="print per-region-link traffic report")
     _add_experiment_args(run_parser)
     _add_output_args(run_parser)
@@ -656,6 +683,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--baseline", default="", metavar="FILE",
                               help="compare scale-tagged records "
                                    "against this BENCH_scale.json "
+                                   "(digest drift + calibrated rate)")
+    sweep_parser.add_argument("--overload-baseline", default="",
+                              metavar="FILE",
+                              help="compare overload-tagged records "
+                                   "against this BENCH_overload.json "
                                    "(digest drift + calibrated rate)")
     sweep_parser.add_argument("--list-campaigns", action="store_true",
                               help="print the campaign registry and "

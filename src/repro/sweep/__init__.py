@@ -24,8 +24,11 @@ from .model import (Campaign, ReportSpec, RunSpec, SWEEP_SCHEMA,
 from .runner import execute_run
 from .scheduler import (CampaignOutcome, SweepScheduler, WorkerBudget,
                         engine_workers, run_campaign)
-from .store import (ResultStore, import_bench_scale, render_bench_scale,
-                    scale_point_from_record, scale_run_id)
+from .store import (ResultStore, import_bench_overload,
+                    import_bench_scale, overload_point_from_record,
+                    overload_run_id, render_bench_overload,
+                    render_bench_scale, scale_point_from_record,
+                    scale_run_id)
 
 __all__ = [
     "Campaign",
@@ -50,10 +53,14 @@ __all__ = [
     "geo_scale_points",
     "get_campaign",
     "host_info",
+    "import_bench_overload",
     "import_bench_scale",
+    "overload_point_from_record",
+    "overload_run_id",
     "point_config",
     "record_series",
     "register_campaign",
+    "render_bench_overload",
     "render_bench_scale",
     "result_from_record",
     "run_campaign",

@@ -18,6 +18,8 @@ Built-ins::
     scale     engine wall-time sweep -> BENCH_scale.json
     ci-smoke  the scale sweep's n=16 serial/parallel pair
     paper     fig10 + fig11 + scale in one DAG
+    overload  open-loop traffic 0.5x-4x saturation -> BENCH_overload.json
+    chaos     protocol x chaos_smoke matrix with the invariant audit
 """
 
 from __future__ import annotations
@@ -27,11 +29,15 @@ import os
 from typing import Any, Callable, Dict, List, Tuple
 
 from ..bench.deployment import ExperimentConfig
+from ..consensus.pbft import PbftConfig
+from ..core.config import GeoBftConfig
 from ..errors import ConfigurationError
+from ..workload.traffic import TrafficSpec
 from .model import Campaign, ReportSpec, RunSpec
-from .reports import (build_fig10, build_fig11, build_fig12, build_fig13,
-                      build_scale, build_table1, build_table2)
-from .store import scale_run_id
+from .reports import (build_chaos, build_fig10, build_fig11, build_fig12,
+                      build_fig13, build_overload, build_scale,
+                      build_table1, build_table2)
+from .store import overload_run_id, scale_run_id
 
 PROTOCOLS = ("geobft", "pbft", "zyzzyva", "hotstuff", "steward")
 
@@ -40,6 +46,22 @@ SCALE_POINTS = (16, 32, 64, 91, 256)
 SCALE_WORKERS = (1, 2)
 SCALE_SIM_DURATION = 1.2
 SCALE_SIM_WARMUP = 0.3
+
+#: Overload sweep: open-loop offered load as a multiple of each
+#: protocol's measured saturation goodput.
+OVERLOAD_USERS = 1_200_000
+OVERLOAD_FACTORS = (0.5, 1.0, 2.0, 4.0)
+
+#: Closed-loop saturation goodput (txn/s) measured at the overload
+#: point config (2x4, batch=100, fast crypto, 4 clients x 8
+#: outstanding) — the x-axis anchor: offered load is ``x * SAT``.
+OVERLOAD_SATURATION = {
+    "geobft": 125_000,
+    "pbft": 80_000,
+    "zyzzyva": 125_000,
+    "hotstuff": 50_000,
+    "steward": 3_600,
+}
 
 
 # ----------------------------------------------------------------------
@@ -359,6 +381,116 @@ def scale_campaign() -> Campaign:
                             build_scale),))
 
 
+def overload_spec(protocol: str, x: float) -> TrafficSpec:
+    """The open-loop traffic spec for one overload point.
+
+    ``OVERLOAD_USERS`` users collectively offer ``x`` times the
+    protocol's saturation goodput as a Poisson arrival process, with
+    the client-side overload semantics fixed across the sweep: a
+    bounded in-flight window (admission control), a 0.75 s commit
+    deadline, and two seeded retries with exponential backoff.
+    """
+    rate = x * OVERLOAD_SATURATION[protocol] / OVERLOAD_USERS
+    return TrafficSpec(
+        process="poisson",
+        users=OVERLOAD_USERS,
+        rate_per_user=rate,
+        tick=0.02,
+        deadline=0.75,
+        max_retries=2,
+        retry_backoff=0.25,
+        window=20_000,
+    )
+
+
+def overload_campaign() -> Campaign:
+    """Offered-load sweep from 0.5x to 4x saturation, all protocols.
+
+    GeoBFT — the protocol with region-affine sources and the parallel
+    engine's natural partition — additionally runs every point at
+    workers=2 for the serial/parallel digest-parity gate, and one 2x
+    point swaps in the conflict-bearing payment workload.
+    """
+    runs = []
+    for protocol in PROTOCOLS:
+        worker_grid = (1, 2) if protocol == "geobft" else (1,)
+        for i, x in enumerate(OVERLOAD_FACTORS):
+            for w in worker_grid:
+                config = point_config(
+                    protocol, 2, 4, traffic=overload_spec(protocol, x))
+                if w > 1:
+                    config = dataclasses.replace(config, workers=w)
+                # A parallel point depends on its serial twin: the
+                # digest-parity gate needs the reference record first.
+                deps = ((overload_run_id(protocol, x, 1),)
+                        if w > 1 else ())
+                runs.append(RunSpec(
+                    run_id=overload_run_id(protocol, x, w),
+                    config=config,
+                    depends_on=deps,
+                    tags={"figure": "overload", "protocol": protocol,
+                          "x": x, "xi": i, "workers": w,
+                          "workload": "ycsb"}))
+    # One conflict-bearing point: interbank payments at 2x saturation.
+    runs.append(RunSpec(
+        run_id=overload_run_id("geobft", 2.0, 1, "payment"),
+        config=point_config("geobft", 2, 4,
+                            traffic=overload_spec("geobft", 2.0)),
+        scenario="payment_network",
+        tags={"figure": "overload", "protocol": "geobft", "x": 2.0,
+              "xi": 2, "workers": 1, "workload": "payment"}))
+    return Campaign(
+        name="overload",
+        description="Open-loop overload sweep (0.5x-4x saturation, "
+                    f"{OVERLOAD_USERS:,} modeled users); regenerates "
+                    "BENCH_overload.json",
+        runs=tuple(runs),
+        reports=(ReportSpec("bench-overload", "BENCH_overload.json",
+                            build_overload),))
+
+
+def chaos_config(protocol: str) -> ExperimentConfig:
+    """The chaos-smoke deployment (mirrors ``tests/test_chaos.py``).
+
+    A 2x4 deployment tuned so crash recovery, partition healing, and
+    the view changes the Byzantine faults force all fit in the run.
+    The duration is absolute — the timeline's fault instants and
+    recovery timers are absolute simulated times, so the window must
+    not shrink under ``REPRO_BENCH_TIME_SCALE``.
+    """
+    return ExperimentConfig(
+        protocol=protocol, num_clusters=2, replicas_per_cluster=4,
+        batch_size=5, clients_per_cluster=1, client_outstanding=2,
+        duration=10.0, warmup=0.5, seed=3, fast_crypto=True,
+        record_count=100, view_change_timeout=0.8,
+        client_retry_timeout=2.0,
+        geobft=GeoBftConfig(pbft=PbftConfig(view_change_timeout=0.8,
+                                            new_view_timeout=0.8),
+                            remote_timeout=0.8),
+    )
+
+
+def chaos_campaign() -> Campaign:
+    """The chaos matrix: every protocol through the seeded
+    ``chaos_smoke`` timeline (crash + partition/heal + Byzantine
+    tampering), with the invariant audit as the report — the campaign
+    form of the per-protocol CI chaos-smoke jobs."""
+    runs = []
+    for protocol in PROTOCOLS:
+        runs.append(RunSpec(
+            run_id=f"chaos/{protocol}",
+            config=chaos_config(protocol),
+            scenario="chaos_smoke",
+            tags={"figure": "chaos", "protocol": protocol}))
+    return Campaign(
+        name="chaos",
+        description="Chaos matrix — every protocol through the seeded "
+                    "crash/partition/Byzantine timeline, audited",
+        runs=tuple(runs),
+        reports=(ReportSpec("chaos-audit", "chaos_audit.txt",
+                            build_chaos),))
+
+
 def ci_smoke_campaign() -> Campaign:
     return Campaign(
         name="ci-smoke",
@@ -394,9 +526,14 @@ register_campaign("table2", table2_campaign)
 register_campaign("scale", scale_campaign)
 register_campaign("ci-smoke", ci_smoke_campaign)
 register_campaign("paper", paper_campaign)
+register_campaign("overload", overload_campaign)
+register_campaign("chaos", chaos_campaign)
 
 
 __all__ = [
+    "OVERLOAD_FACTORS",
+    "OVERLOAD_SATURATION",
+    "OVERLOAD_USERS",
     "PROTOCOLS",
     "SCALE_POINTS",
     "SCALE_SIM_DURATION",
@@ -404,11 +541,13 @@ __all__ = [
     "SCALE_WORKERS",
     "batch_points",
     "campaign_names",
+    "chaos_config",
     "cluster_size_points",
     "failure_points",
     "full_scale",
     "geo_scale_points",
     "get_campaign",
+    "overload_spec",
     "point_config",
     "register_campaign",
     "scale_config",

@@ -20,7 +20,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Sequence, Tuple
 from ..bench.charts import ascii_chart
 from ..bench.reporting import format_figure_series, format_table
 from .model import record_series
-from .store import render_bench_scale
+from .store import render_bench_overload, render_bench_scale
 
 
 def figure_records(records: Iterable[Mapping[str, Any]],
@@ -302,14 +302,86 @@ def build_scale(records: Sequence[Mapping[str, Any]]) -> str:
     return render_bench_scale(recs)
 
 
+# ----------------------------------------------------------------------
+# Overload — the BENCH_overload.json baseline
+# ----------------------------------------------------------------------
+
+def build_overload(records: Sequence[Mapping[str, Any]]) -> str:
+    recs = figure_records(records, "overload")
+    _require(recs, "overload")
+    return render_bench_overload(recs)
+
+
+# ----------------------------------------------------------------------
+# Chaos — the invariant-audit matrix
+# ----------------------------------------------------------------------
+
+def build_chaos(records: Sequence[Mapping[str, Any]]) -> str:
+    """The chaos-matrix audit: one row per protocol, with the
+    safety/liveness verdicts the per-protocol CI smoke jobs used to
+    assert individually."""
+    recs = figure_records(records, "chaos")
+    _require(recs, "chaos")
+    rows = []
+    failures = []
+    for record in recs:
+        result = record["result"]
+        protocol = record["config"]["protocol"]
+        safety = bool(result["safety_ok"])
+        liveness = bool(result["liveness_ok"])
+        throughput = result["throughput_txn_s"]
+        rows.append([
+            protocol,
+            record.get("scenario", "none"),
+            "PASS" if safety else "FAIL",
+            "PASS" if liveness else "FAIL",
+            round(throughput),
+            record["digest"][:12],
+        ])
+        if not safety:
+            failures.append(f"{protocol}: safety audit failed")
+        if not liveness:
+            failures.append(f"{protocol}: liveness audit failed")
+        if throughput <= 0:
+            failures.append(f"{protocol}: no committed transactions")
+    verdict = ("all protocols within fault bounds" if not failures
+               else "; ".join(failures))
+    return format_table(
+        ["protocol", "scenario", "safety", "liveness", "txn/s", "digest"],
+        rows,
+        title="Chaos matrix — crash + partition + Byzantine tampering, "
+              "per protocol",
+    ) + f"\nverdict: {verdict}\n"
+
+
+def chaos_audit_failures(records: Sequence[Mapping[str, Any]]
+                         ) -> List[str]:
+    """Machine-checkable chaos verdicts (empty == every protocol
+    passed its invariant audit with progress)."""
+    failures: List[str] = []
+    for record in figure_records(records, "chaos"):
+        result = record["result"]
+        protocol = record["config"]["protocol"]
+        if not result["safety_ok"]:
+            failures.append(f"{protocol}: safety audit failed")
+        if not result["liveness_ok"]:
+            failures.append(f"{protocol}: liveness audit failed")
+        if result["throughput_txn_s"] <= 0:
+            failures.append(f"{protocol}: no committed transactions")
+    return failures
+
+
 __all__ = [
     "build_fig10",
     "build_fig11",
     "build_fig12",
     "build_fig13",
+    "build_chaos",
+    "build_overload",
     "build_scale",
     "build_table1",
     "build_table2",
+    "chaos_audit_failures",
     "fig12_panels",
     "figure_records",
     "format_table1",

@@ -412,9 +412,17 @@ def compare_scale_baseline(records: Iterable[Mapping[str, Any]],
     digest-drift gate) and **calibrated rate regression** (events/s
     normalized by each host's calibration loop; a drop beyond
     ``tolerance`` fails).  Mirrors ``benchmarks/bench_scale.py``.
+
+    Baseline rows measured with more workers than the baseline host had
+    cpus encode *oversubscribed* wall times — worker processes that
+    time-sliced one core look artificially slow, and a healthy
+    multi-core host would "regress" against them in either direction.
+    Those rows keep the digest gate but skip the rate gate.
     """
     failures: List[str] = []
-    base_cal = baseline.get("host", {}).get("calibration_ops_per_s")
+    base_host = baseline.get("host", {})
+    base_cal = base_host.get("calibration_ops_per_s")
+    base_cpus = base_host.get("cpus")
     base_points = {(p["n"], p.get("workers", 1)): p
                    for p in baseline.get("points", [])}
     for record in records:
@@ -429,6 +437,8 @@ def compare_scale_baseline(records: Iterable[Mapping[str, Any]],
                 f"({point['digest'][:12]}… != {base['digest'][:12]}…) — "
                 "simulated behaviour changed")
         if not base_cal or not calibration:
+            continue
+        if base_cpus and point["workers"] > base_cpus:
             continue
         current_rate = point["events_per_s"] / calibration
         base_rate = base["events_per_s"] / base_cal
@@ -460,14 +470,224 @@ def scale_digest_parity(records: Iterable[Mapping[str, Any]]) -> List[str]:
     return failures
 
 
+# ----------------------------------------------------------------------
+# BENCH_overload.json interop
+# ----------------------------------------------------------------------
+
+#: The overload sweep's simulated window (mirrors the overload campaign).
+OVERLOAD_SIM_DURATION = 1.6
+OVERLOAD_SCHEMA = "bench-overload/1"
+OVERLOAD_BENCHMARK = ("overload sweep (open-loop traffic, 0.5x-4x "
+                      f"saturation, duration={OVERLOAD_SIM_DURATION}s)")
+
+#: The exact per-point keys of a bench-overload baseline row, in the
+#: order they are synthesized from a fresh record.
+_OVERLOAD_POINT_KEYS = (
+    "abandonment_rate", "digest", "events", "events_per_s",
+    "goodput_txn_s", "offered_txn_s", "p50_latency_s", "p95_latency_s",
+    "p99_latency_s", "protocol", "users", "wall_s", "workers",
+    "workload", "x")
+
+
+def overload_run_id(protocol: str, x: float, workers: int = 1,
+                    workload: str = "ycsb") -> str:
+    """Run id of one overload point (``x`` = offered-load factor)."""
+    if workload == "ycsb":
+        return f"overload/{protocol}/x{x:g}/w{workers}"
+    return f"overload/{workload}-{protocol}-x{x:g}"
+
+
+def import_bench_overload(path: str,
+                          campaign: str = "overload"
+                          ) -> List[Dict[str, Any]]:
+    """Store records from a committed ``BENCH_overload.json`` baseline.
+
+    Mirrors :func:`import_bench_scale`: each point becomes one record
+    whose ``bench`` block is the point payload verbatim, keyed
+    ``bench-overload:<protocol>:<workload>:<x>:<w>`` for regeneration
+    and digest comparison rather than run caching.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if payload.get("schema") != OVERLOAD_SCHEMA:
+        raise ConfigurationError(
+            f"{path}: expected schema {OVERLOAD_SCHEMA!r}, "
+            f"got {payload.get('schema')!r}")
+    records = []
+    for point in payload.get("points", []):
+        workers = point.get("workers", 1)
+        workload = point.get("workload", "ycsb")
+        records.append({
+            "schema": SWEEP_SCHEMA,
+            "key": (f"bench-overload:{point['protocol']}:{workload}:"
+                    f"{point['x']:g}:{workers}"),
+            "campaign": campaign,
+            "run_id": overload_run_id(point["protocol"], point["x"],
+                                      workers, workload),
+            "tags": {"figure": "overload", "x": point["x"],
+                     "workers": workers, "workload": workload},
+            "config": {"protocol": point["protocol"], "workers": workers},
+            "scenario": "none",
+            "status": "ok",
+            "digest": point["digest"],
+            "bench": dict(point),
+            "host": dict(payload.get("host", {})),
+        })
+    return records
+
+
+def overload_point_from_record(record: Mapping[str, Any]
+                               ) -> Dict[str, Any]:
+    """The bench-overload point row for one overload-campaign record.
+
+    Imported records carry the row verbatim under ``bench``; fresh runs
+    synthesize it from the result's ``traffic`` block and tail-latency
+    percentiles, rounded like the scale points.
+    """
+    bench = record.get("bench")
+    if bench is not None:
+        return {k: bench[k] for k in _OVERLOAD_POINT_KEYS if k in bench}
+    result = record["result"]
+    traffic = result["traffic"]
+    wall = record["wall_s"]
+    events = record["events"]
+    return {
+        "abandonment_rate": round(traffic["abandonment_rate"], 6),
+        "digest": record["digest"],
+        "events": events,
+        "events_per_s": round(events / wall),
+        "goodput_txn_s": round(traffic["goodput_txn_s"]),
+        "offered_txn_s": round(traffic["offered_txn_s"]),
+        "p50_latency_s": round(result["p50_latency_s"], 6),
+        "p95_latency_s": round(result["p95_latency_s"], 6),
+        "p99_latency_s": round(result["p99_latency_s"], 6),
+        "protocol": record["config"]["protocol"],
+        "users": traffic["modeled_users"],
+        "wall_s": round(wall, 3),
+        "workers": record["config"].get("workers", 1),
+        "workload": record["tags"].get("workload", "ycsb"),
+        "x": record["tags"]["x"],
+    }
+
+
+def render_bench_overload(records: Iterable[Mapping[str, Any]],
+                          host: Optional[Mapping[str, Any]] = None) -> str:
+    """``BENCH_overload.json`` content regenerated from store records.
+
+    Points ordered (protocol, workload, x, workers); same canonical
+    JSON shape as :func:`render_bench_scale`.
+    """
+    records = list(records)
+    rows = sorted((overload_point_from_record(r) for r in records),
+                  key=lambda p: (p["protocol"], p["workload"], p["x"],
+                                 p["workers"]))
+    if not rows:
+        raise ConfigurationError(
+            "no overload records to render; run the overload campaign "
+            "first")
+    if host is None:
+        for record in records:
+            if record.get("host"):
+                host = record["host"]
+                break
+        else:
+            raise ConfigurationError(
+                "no host calibration block in the overload records")
+    payload = {
+        "schema": OVERLOAD_SCHEMA,
+        "benchmark": OVERLOAD_BENCHMARK,
+        "host": dict(host),
+        "points": rows,
+    }
+    return json.dumps(payload, indent=1, sort_keys=True) + "\n"
+
+
+def compare_overload_baseline(records: Iterable[Mapping[str, Any]],
+                              calibration: float,
+                              baseline: Mapping[str, Any],
+                              tolerance: float = 0.30) -> List[str]:
+    """The CI overload gate: campaign records vs a committed baseline.
+
+    Same two gates as :func:`compare_scale_baseline` — digest equality
+    on every shared point, calibrated events/s regression beyond
+    ``tolerance`` — including the oversubscription skip for baseline
+    rows measured with ``workers > host.cpus``.
+    """
+    failures: List[str] = []
+    base_host = baseline.get("host", {})
+    base_cal = base_host.get("calibration_ops_per_s")
+    base_cpus = base_host.get("cpus")
+    base_points = {(p["protocol"], p.get("workload", "ycsb"), p["x"],
+                    p.get("workers", 1)): p
+                   for p in baseline.get("points", [])}
+    for record in records:
+        point = overload_point_from_record(record)
+        base = base_points.get((point["protocol"], point["workload"],
+                                point["x"], point["workers"]))
+        if base is None:
+            continue
+        label = (f"{point['protocol']} {point['workload']} "
+                 f"x={point['x']:g} workers={point['workers']}")
+        if base["digest"] != point["digest"]:
+            failures.append(
+                f"{label}: deployment_digest mismatch vs baseline "
+                f"({point['digest'][:12]}… != {base['digest'][:12]}…) — "
+                "simulated behaviour changed")
+        if not base_cal or not calibration:
+            continue
+        if base_cpus and point["workers"] > base_cpus:
+            continue
+        current_rate = point["events_per_s"] / calibration
+        base_rate = base["events_per_s"] / base_cal
+        if current_rate < base_rate * (1.0 - tolerance):
+            failures.append(
+                f"{label}: calibrated event rate regressed "
+                f"{(1.0 - current_rate / base_rate) * 100:.0f}% "
+                f"(>{tolerance * 100:.0f}% tolerance): "
+                f"{current_rate:.2f} vs baseline {base_rate:.2f} "
+                "events per calibration-op")
+    return failures
+
+
+def overload_digest_parity(records: Iterable[Mapping[str, Any]]
+                           ) -> List[str]:
+    """Serial/parallel overload points at one (protocol, workload, x)
+    must share a digest."""
+    failures: List[str] = []
+    groups: Dict[tuple, List[Dict[str, Any]]] = {}
+    for record in records:
+        point = overload_point_from_record(record)
+        key = (point["protocol"], point["workload"], point["x"])
+        groups.setdefault(key, []).append(point)
+    for (protocol, workload, x), group in sorted(groups.items()):
+        digests = {p["digest"] for p in group}
+        if len(digests) > 1:
+            detail = ", ".join(
+                f"workers={p['workers']}:{p['digest'][:12]}…"
+                for p in group)
+            failures.append(
+                f"{protocol} {workload} x={x:g}: serial/parallel digest "
+                f"divergence ({detail})")
+    return failures
+
+
 __all__ = [
     "ResultStore",
+    "OVERLOAD_BENCHMARK",
+    "OVERLOAD_SCHEMA",
+    "OVERLOAD_SIM_DURATION",
     "SCALE_BENCHMARK",
     "SCALE_SCHEMA",
     "SCALE_SIM_DURATION",
+    "compare_overload_baseline",
     "compare_scale_baseline",
     "encode_record",
+    "import_bench_overload",
     "import_bench_scale",
+    "overload_digest_parity",
+    "overload_point_from_record",
+    "overload_run_id",
+    "render_bench_overload",
     "render_bench_scale",
     "scale_digest_parity",
     "scale_point_from_record",

@@ -1,6 +1,14 @@
-"""Workload substrate: YCSB generators and closed-loop clients."""
+"""Workload substrate: YCSB/payment generators and traffic drivers."""
 
 from .client import QuorumClient
+from .payment import DEFAULT_ACCOUNTS, PaymentWorkload
+from .traffic import (
+    TRAFFIC_PROCESSES,
+    OpenLoopSource,
+    TrafficSpec,
+    split_users,
+    traffic_summary,
+)
 from .ycsb import YcsbWorkload
 from .zipfian import (
     DEFAULT_ZIPFIAN_CONSTANT,
@@ -14,6 +22,13 @@ from .zipfian import (
 __all__ = [
     "QuorumClient",
     "YcsbWorkload",
+    "DEFAULT_ACCOUNTS",
+    "PaymentWorkload",
+    "TRAFFIC_PROCESSES",
+    "OpenLoopSource",
+    "TrafficSpec",
+    "split_users",
+    "traffic_summary",
     "DEFAULT_ZIPFIAN_CONSTANT",
     "ScrambledZipfianGenerator",
     "UniformGenerator",

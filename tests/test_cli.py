@@ -186,15 +186,26 @@ class TestObservability:
 
 
 class TestTrafficFlag:
-    def test_run_with_traffic_report(self, capsys):
+    def test_run_with_link_report(self, capsys):
         code = main([
             "run", "-p", "pbft", "-z", "2", "-n", "4", "-b", "5",
-            "-d", "1.2", "-w", "0.3", "--clients", "1", "--traffic",
+            "-d", "1.2", "-w", "0.3", "--clients", "1", "--link-report",
         ])
         assert code == 0
         out = capsys.readouterr().out
         assert "per-link traffic" in out
         assert "oregon" in out
+
+    def test_run_with_open_loop_traffic(self, capsys):
+        code = main([
+            "run", "-p", "pbft", "-z", "2", "-n", "4", "-b", "5",
+            "-d", "1.2", "-w", "0.3",
+            "--traffic", "poisson:users=1000,rate=0.05",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "open-loop:" in out
+        assert "1,000" in out
 
 
 class TestChaosFlags:

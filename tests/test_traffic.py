@@ -1,0 +1,395 @@
+"""Open-loop aggregate traffic: specs, sources, and the overload gate.
+
+Covers the :class:`TrafficSpec` shorthand grammar and validation, the
+seeded arrival processes (determinism and the chunked Poisson sampler),
+the O(arrivals) scaling contract (a million modeled users costs the
+same simulator work as a thousand at equal offered load), client-side
+semantics over aggregates (admission rejection, deadline abandonment,
+retry accounting), serial-vs-parallel digest parity, the promoted
+``payment_network`` scenario, and the ``BENCH_overload.json`` store
+interop (byte-identical regeneration, drift gates, parity checks).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import random
+
+import pytest
+
+from repro.bench.deployment import (Deployment, ExperimentConfig,
+                                    deployment_digest)
+from repro.bench.parallel import run_parallel
+from repro.bench.scenarios import apply_scenario, scenario_names
+from repro.errors import ConfigurationError, WorkloadError
+from repro.sweep import (ResultStore, campaign_names, get_campaign,
+                         import_bench_overload, overload_run_id,
+                         render_bench_overload)
+from repro.sweep.campaigns import (OVERLOAD_FACTORS, OVERLOAD_SATURATION,
+                                   OVERLOAD_USERS, PROTOCOLS)
+from repro.sweep.store import (OVERLOAD_BENCHMARK,
+                               compare_overload_baseline,
+                               overload_digest_parity)
+from repro.workload.payment import DEFAULT_ACCOUNTS, PaymentWorkload
+from repro.workload.traffic import (TRAFFIC_PROCESSES, TrafficSpec,
+                                    _poisson, split_users)
+
+SMALL = dict(protocol="geobft", num_clusters=2, replicas_per_cluster=4,
+             batch_size=5, duration=1.2, warmup=0.3, seed=2,
+             record_count=500, fast_crypto=True)
+
+
+def traffic_config(spec: TrafficSpec, **overrides) -> ExperimentConfig:
+    return ExperimentConfig(**{**SMALL, **overrides}, traffic=spec)
+
+
+def steady_spec(**overrides) -> TrafficSpec:
+    """A constant-rate spec fast enough for unit tests."""
+    params = dict(process="constant", users=1_000, rate_per_user=0.5,
+                  tick=0.05, deadline=0.8, max_retries=1,
+                  retry_backoff=0.25, window=2_000)
+    params.update(overrides)
+    return TrafficSpec(**params)
+
+
+# ---------------------------------------------------------------------------
+# Spec grammar and validation
+# ---------------------------------------------------------------------------
+class TestTrafficSpec:
+    def test_parse_shorthand_with_aliases(self):
+        spec = TrafficSpec.parse(
+            "poisson:users=1000000,rate=0.5,deadline=1.5,retries=3,"
+            "backoff=0.2,window=50000")
+        assert spec.process == "poisson"
+        assert spec.users == 1_000_000
+        assert spec.rate_per_user == 0.5
+        assert spec.deadline == 1.5
+        assert spec.max_retries == 3
+        assert spec.retry_backoff == 0.2
+        assert spec.window == 50_000
+
+    def test_parse_process_only(self):
+        assert TrafficSpec.parse("constant").process == "constant"
+
+    def test_parse_rejects_unknown_process(self):
+        with pytest.raises(ConfigurationError, match="unknown traffic"):
+            TrafficSpec.parse("bursty:users=10")
+
+    def test_parse_rejects_malformed_pair(self):
+        with pytest.raises(ConfigurationError, match="key=value"):
+            TrafficSpec.parse("poisson:users")
+
+    def test_parse_rejects_unknown_key(self):
+        with pytest.raises(ConfigurationError, match="unknown key"):
+            TrafficSpec.parse("poisson:velocity=3")
+
+    def test_parse_rejects_bad_value(self):
+        with pytest.raises(ConfigurationError, match="bad value"):
+            TrafficSpec.parse("poisson:users=many")
+
+    @pytest.mark.parametrize("field,value", [
+        ("users", 0), ("rate_per_user", 0.0), ("tick", 0.0),
+        ("deadline", 0.0), ("max_retries", -1), ("retry_backoff", 0.0),
+        ("window", 0), ("period", 0.0), ("amplitude", 1.5),
+        ("flash_factor", 0.0)])
+    def test_field_validation(self, field, value):
+        with pytest.raises(ConfigurationError):
+            steady_spec(**{field: value})
+
+    def test_flash_window_must_be_ordered(self):
+        with pytest.raises(ConfigurationError, match="flash_until"):
+            TrafficSpec(process="flash", flash_at=2.0, flash_until=1.0)
+
+    def test_from_value_coercions(self):
+        assert TrafficSpec.from_value(None) is None
+        assert TrafficSpec.from_value("") is None
+        spec = steady_spec()
+        assert TrafficSpec.from_value(spec) is spec
+        assert TrafficSpec.from_value("poisson:users=5").users == 5
+        assert TrafficSpec.from_value({"process": "constant"}).process \
+            == "constant"
+        with pytest.raises(ConfigurationError, match="traffic must be"):
+            TrafficSpec.from_value(42)
+
+    def test_rate_curves(self):
+        flat = steady_spec()
+        assert flat.rate_multiplier(3.7) == 1.0
+        assert flat.offered_txn_s(0.0) == 1_000 * 0.5
+        diurnal = TrafficSpec(process="diurnal", period=20.0,
+                              amplitude=0.5)
+        assert diurnal.rate_multiplier(5.0) == pytest.approx(1.5)
+        assert diurnal.rate_multiplier(15.0) == pytest.approx(0.5)
+        flash = TrafficSpec(process="flash", flash_at=1.0,
+                            flash_until=2.0, flash_factor=4.0)
+        assert flash.rate_multiplier(0.5) == 1.0
+        assert flash.rate_multiplier(1.0) == 4.0
+        assert flash.rate_multiplier(2.0) == 1.0
+
+    def test_split_users_is_even_and_total_preserving(self):
+        assert split_users(10, 3) == [4, 3, 3]
+        assert sum(split_users(1_000_001, 7)) == 1_000_001
+
+    def test_processes_tuple_is_the_contract(self):
+        assert TRAFFIC_PROCESSES == ("constant", "poisson", "diurnal",
+                                     "flash")
+
+
+class TestPoisson:
+    def test_seeded_draws_are_deterministic(self):
+        a = [_poisson(random.Random(7), lam) for lam in (0.5, 3.0, 900.0)]
+        b = [_poisson(random.Random(7), lam) for lam in (0.5, 3.0, 900.0)]
+        assert a == b
+
+    def test_zero_rate_draws_zero(self):
+        assert _poisson(random.Random(1), 0.0) == 0
+
+    def test_chunked_large_lambda_has_sane_mean(self):
+        rng = random.Random(3)
+        draws = [_poisson(rng, 2_000.0) for _ in range(50)]
+        mean = sum(draws) / len(draws)
+        assert 1_900 < mean < 2_100
+
+
+# ---------------------------------------------------------------------------
+# The source inside a deployment
+# ---------------------------------------------------------------------------
+class TestOpenLoopRuns:
+    def run_once(self, spec: TrafficSpec, **overrides):
+        deployment = Deployment(traffic_config(spec, **overrides))
+        result = deployment.run()
+        return deployment, result
+
+    def test_rerun_is_bit_identical(self):
+        spec = steady_spec(process="poisson")
+        dep_a, res_a = self.run_once(spec)
+        dep_b, res_b = self.run_once(spec)
+        assert deployment_digest(dep_a, res_a) \
+            == deployment_digest(dep_b, res_b)
+        assert res_a.traffic == res_b.traffic
+        assert res_a.traffic is not None
+        assert res_a.traffic["goodput_txn_s"] > 0
+
+    def test_events_scale_with_arrivals_not_users(self):
+        # Same offered load (500 txn/s), three orders of magnitude apart
+        # in population: identical simulator work and committed txns.
+        small = steady_spec(users=1_000, rate_per_user=0.5)
+        huge = steady_spec(users=1_000_000, rate_per_user=0.0005)
+        dep_a, res_a = self.run_once(small)
+        dep_b, res_b = self.run_once(huge)
+        assert dep_a.sim.events_processed == dep_b.sim.events_processed
+        assert res_a.completed_txns == res_b.completed_txns
+        assert res_b.traffic["modeled_users"] == 1_000_000
+
+    def test_closed_loop_results_omit_traffic(self):
+        result = Deployment(ExperimentConfig(**SMALL)).run()
+        assert result.traffic is None
+        assert "traffic" not in result.to_dict()
+
+    def test_serial_parallel_digest_parity(self):
+        spec = steady_spec(process="poisson")
+        serial_dep, serial_res = self.run_once(spec)
+        parallel = run_parallel(traffic_config(spec, workers=2))
+        assert parallel.digest == deployment_digest(serial_dep, serial_res)
+        assert parallel.result.traffic == serial_res.traffic
+
+    def test_admission_window_rejects_overload(self):
+        spec = steady_spec(rate_per_user=2.0, window=20, max_retries=0)
+        _, result = self.run_once(spec)
+        assert result.traffic["rejected_txns"] > 0
+
+    def test_deadline_abandons_when_retries_exhausted(self):
+        spec = steady_spec(deadline=0.01, max_retries=0)
+        _, result = self.run_once(spec)
+        assert result.traffic["abandoned_txns"] > 0
+        assert result.traffic["abandonment_rate"] > 0
+
+    def test_retry_accounting(self):
+        spec = steady_spec(deadline=0.01, max_retries=2,
+                           retry_backoff=0.05)
+        _, result = self.run_once(spec)
+        assert result.traffic["retried_batches"] > 0
+
+    @pytest.mark.parametrize("protocol", ["pbft", "zyzzyva", "hotstuff"])
+    def test_other_protocols_complete_under_traffic(self, protocol):
+        clusters = 1 if protocol != "geobft" else 2
+        spec = steady_spec()
+        _, result = self.run_once(spec, protocol=protocol,
+                                  num_clusters=clusters)
+        assert result.safety_ok
+        assert result.completed_txns > 0
+        assert result.traffic["goodput_txn_s"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Payment workload and scenario
+# ---------------------------------------------------------------------------
+class TestPaymentNetwork:
+    def test_workload_is_seeded_and_bounded(self):
+        a = PaymentWorkload("iowa", seed=7, accounts=50)
+        b = PaymentWorkload("iowa", seed=7, accounts=50)
+        batch_a = a.next_batch(10, prefix="x-")
+        batch_b = b.next_batch(10, prefix="x-")
+        assert [t.txn_id for t in batch_a] == [t.txn_id for t in batch_b]
+        assert [t.value for t in batch_a] == [t.value for t in batch_b]
+        assert a.generated_txns == 10
+        for txn in batch_a:
+            assert txn.op == "modify"
+            assert txn.value.startswith("iowa->")
+        with pytest.raises(WorkloadError):
+            PaymentWorkload("iowa", seed=1, accounts=0)
+
+    def test_scenario_is_registered_and_applies(self):
+        assert "payment_network" in scenario_names()
+        deployment = Deployment(ExperimentConfig(**SMALL))
+        apply_scenario(deployment, "payment_network")
+        assert deployment.clients
+        for client in deployment.clients:
+            assert isinstance(client._workload, PaymentWorkload)
+            assert client._workload.accounts \
+                <= min(DEFAULT_ACCOUNTS, SMALL["record_count"])
+
+    def test_scenario_run_is_deterministic(self):
+        def run():
+            deployment = Deployment(ExperimentConfig(**SMALL))
+            apply_scenario(deployment, "payment_network")
+            result = deployment.run()
+            return deployment, result
+
+        dep_a, res_a = run()
+        dep_b, res_b = run()
+        assert res_a.safety_ok and res_a.completed_txns > 0
+        assert deployment_digest(dep_a, res_a) \
+            == deployment_digest(dep_b, res_b)
+
+
+# ---------------------------------------------------------------------------
+# BENCH_overload.json interop
+# ---------------------------------------------------------------------------
+def overload_payload(**host_overrides):
+    host = {"calibration_ops_per_s": 1_000_000, "cpus": 4,
+            "python": "test"}
+    host.update(host_overrides)
+    point = {"abandonment_rate": 0.0, "digest": "d" * 64, "events": 5_000,
+             "events_per_s": 50_000, "goodput_txn_s": 120_000,
+             "offered_txn_s": 125_000, "p50_latency_s": 0.11,
+             "p95_latency_s": 0.2, "p99_latency_s": 0.3,
+             "protocol": "geobft", "users": 1_200_000, "wall_s": 0.1,
+             "workers": 1, "workload": "ycsb", "x": 1.0}
+    wide = dict(point, workers=2, events_per_s=20_000)
+    return {"schema": "bench-overload/1",
+            "benchmark": OVERLOAD_BENCHMARK,
+            "host": host, "points": [point, wide]}
+
+
+class TestOverloadInterop:
+    def test_run_id_forms(self):
+        assert overload_run_id("geobft", 2.0) == "overload/geobft/x2/w1"
+        assert overload_run_id("geobft", 0.5, 2) \
+            == "overload/geobft/x0.5/w2"
+        assert overload_run_id("geobft", 2.0, 1, "payment") \
+            == "overload/payment-geobft-x2"
+
+    def test_baseline_regenerates_byte_identically(self, tmp_path):
+        path = tmp_path / "BENCH_overload.json"
+        original = json.dumps(overload_payload(), indent=1,
+                              sort_keys=True) + "\n"
+        path.write_text(original)
+        store = ResultStore(None)
+        store.add_all(import_bench_overload(str(path)))
+        rendered = render_bench_overload(store.query(campaign="overload"))
+        assert rendered == original
+
+    def test_import_rejects_wrong_schema(self, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(json.dumps({"schema": "bench-overload/999"}))
+        with pytest.raises(ConfigurationError, match="schema"):
+            import_bench_overload(str(bogus))
+
+    def test_render_requires_records(self):
+        with pytest.raises(ConfigurationError, match="no overload"):
+            render_bench_overload([])
+
+    def test_compare_flags_digest_drift(self, tmp_path):
+        baseline = overload_payload()
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps(baseline))
+        records = import_bench_overload(str(path))
+        records[0]["bench"] = dict(records[0]["bench"], digest="e" * 64)
+        failures = compare_overload_baseline(records, 1_000_000, baseline)
+        assert len(failures) == 1
+        assert "digest mismatch" in failures[0]
+
+    def test_compare_flags_rate_regression(self, tmp_path):
+        baseline = overload_payload()
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps(baseline))
+        records = import_bench_overload(str(path))
+        records[0]["bench"] = dict(records[0]["bench"], events_per_s=100)
+        failures = compare_overload_baseline(records, 1_000_000, baseline)
+        assert len(failures) == 1
+        assert "regressed" in failures[0]
+
+    def test_compare_skips_rate_gate_on_oversubscribed_rows(self,
+                                                            tmp_path):
+        # Baseline measured on a 1-cpu host: its workers=2 wall times are
+        # time-sliced, so only the digest gate applies to that row.
+        baseline = overload_payload(cpus=1)
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps(baseline))
+        records = import_bench_overload(str(path))
+        wide = next(r for r in records if r["bench"]["workers"] == 2)
+        wide["bench"] = dict(wide["bench"], events_per_s=100)
+        assert compare_overload_baseline(records, 1_000_000,
+                                         baseline) == []
+        wide["bench"] = dict(wide["bench"], digest="e" * 64)
+        failures = compare_overload_baseline(records, 1_000_000, baseline)
+        assert len(failures) == 1 and "digest" in failures[0]
+
+    def test_digest_parity_groups_by_point(self, tmp_path):
+        baseline = overload_payload()
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps(baseline))
+        records = import_bench_overload(str(path))
+        assert overload_digest_parity(records) == []
+        records[1]["bench"] = dict(records[1]["bench"], digest="e" * 64)
+        failures = overload_digest_parity(records)
+        assert len(failures) == 1
+        assert "divergence" in failures[0]
+
+
+# ---------------------------------------------------------------------------
+# Campaign registration
+# ---------------------------------------------------------------------------
+class TestCampaigns:
+    def test_overload_and_chaos_registered(self):
+        names = campaign_names()
+        assert "overload" in names
+        assert "chaos" in names
+
+    def test_overload_campaign_shape(self):
+        campaign = get_campaign("overload")
+        ids = campaign.run_ids()
+        for protocol in PROTOCOLS:
+            assert protocol in OVERLOAD_SATURATION
+            for x in OVERLOAD_FACTORS:
+                assert overload_run_id(protocol, x) in ids
+        # geobft gets a parallel twin per factor, gated on its serial run.
+        for spec in campaign.runs:
+            assert spec.config.traffic is not None
+            assert spec.config.traffic.users == OVERLOAD_USERS
+            if spec.config.workers > 1:
+                assert spec.depends_on
+        assert overload_run_id("geobft", 2.0, 1, "payment") in ids
+        payment = next(s for s in campaign.runs
+                       if s.tags.get("workload") == "payment")
+        assert payment.scenario == "payment_network"
+        assert campaign.reports[0].filename == "BENCH_overload.json"
+
+    def test_chaos_campaign_covers_every_protocol(self):
+        campaign = get_campaign("chaos")
+        assert len(campaign.runs) == len(PROTOCOLS)
+        for spec in campaign.runs:
+            assert spec.scenario == "chaos_smoke"
+            assert spec.config.duration == 10.0
+        assert campaign.reports[0].filename == "chaos_audit.txt"
