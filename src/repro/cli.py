@@ -576,6 +576,55 @@ def _cmd_table2(args) -> int:
     return 0
 
 
+def _changed_files(ref: str) -> Optional[List[str]]:
+    """Python files changed vs ``ref`` (``None`` if git fails)."""
+    import subprocess
+
+    proc = subprocess.run(
+        ["git", "diff", "--name-only", ref, "--", "*.py"],
+        capture_output=True, text=True, check=False)
+    if proc.returncode != 0:
+        print(f"repro lint: git diff against {ref!r} failed: "
+              f"{proc.stderr.strip()}", file=sys.stderr)
+        return None
+    return [path for path in proc.stdout.splitlines()
+            if path.endswith(".py") and os.path.isfile(path)]
+
+
+def _write_flow_artifacts(args, package_dir: str) -> None:
+    """Emit ``--flow-report`` / ``--flow-dot`` from the package tree.
+
+    The flow graph is a whole-package artifact, so it is always
+    extracted from the installed package source — a ``--changed`` run
+    narrows the *findings*, never the graph.
+    """
+    import ast
+    import json
+
+    from .lint.engine import discover_files
+    from .lint.msgflow import extract_flows, flow_dot, flow_report
+    from .lint.symbols import build_index
+
+    parsed = []
+    for file_path in discover_files([package_dir]):
+        with open(file_path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        try:
+            tree = ast.parse(source, filename=file_path)
+        except SyntaxError:
+            continue  # the lint run itself reports parse errors
+        parsed.append((file_path.replace(os.sep, "/"), tree))
+    flows = extract_flows(build_index(parsed))
+    if args.flow_report:
+        with open(args.flow_report, "w", encoding="utf-8") as handle:
+            json.dump(flow_report(flows), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+    if args.flow_dot:
+        with open(args.flow_dot, "w", encoding="utf-8") as handle:
+            handle.write(flow_dot(flows))
+
+
 def _cmd_lint(args) -> int:
     """``repro lint``: exit 0 on a clean tree, 1 on findings."""
     import json
@@ -587,13 +636,32 @@ def _cmd_lint(args) -> int:
         for doc in iter_rule_docs():
             print(f"{doc['id']}: {doc['summary']}")
         return 0
+    package_dir = os.path.dirname(os.path.abspath(__file__))
     paths = args.paths
-    if not paths:
+    project_scope = None
+    if args.changed is not None:
+        changed = _changed_files(args.changed)
+        if changed is None:
+            return 2
+        # Findings are restricted to the changed files, but the
+        # whole-program passes still parse the full package so
+        # interprocedural resolution does not lose edges.
+        paths = changed
+        project_scope = [package_dir]
+    elif not paths:
         # Default target: the installed package's own source tree, so
         # ``repro lint`` self-checks from any working directory.
-        paths = [os.path.dirname(os.path.abspath(__file__))]
+        paths = [package_dir]
     rules = default_rules(args.rules) if args.rules else None
-    report = run_lint(paths, rules=rules)
+    if paths:
+        report = run_lint(paths, rules=rules,
+                          project_scope=project_scope)
+    else:
+        from .lint import LintReport
+        report = LintReport(rules_run=tuple(
+            rule.id for rule in (rules or default_rules())))
+    if args.flow_report or args.flow_dot:
+        _write_flow_artifacts(args, package_dir)
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
@@ -722,12 +790,23 @@ def build_parser() -> argparse.ArgumentParser:
                                   "package source)")
     lint_parser.add_argument("--json", action="store_true",
                              help="emit the machine-readable report "
-                                  "(schema version 1)")
+                                  "(schema version 2)")
     lint_parser.add_argument("--rule", action="append", default=None,
                              metavar="RULE-ID", dest="rules",
                              help="run only this rule (repeatable)")
     lint_parser.add_argument("--list-rules", action="store_true",
                              help="print the rule catalogue and exit")
+    lint_parser.add_argument("--changed", nargs="?", const="HEAD",
+                             default=None, metavar="REF",
+                             help="lint only files changed vs REF "
+                                  "(default HEAD); the whole-program "
+                                  "passes still see the full package")
+    lint_parser.add_argument("--flow-report", default="", metavar="JSON",
+                             help="write the per-protocol message-flow "
+                                  "graph as JSON")
+    lint_parser.add_argument("--flow-dot", default="", metavar="DOT",
+                             help="write the message-flow graph as "
+                                  "GraphViz DOT")
     lint_parser.set_defaults(handler=_cmd_lint)
     return parser
 

@@ -40,6 +40,8 @@ from .messages import (
     HsQuorumCert,
     HsVote,
     adopt_encoding,
+    note_verified_quorum,
+    verified_quorum,
 )
 from .replica import BaseReplica
 
@@ -305,14 +307,13 @@ class HotStuffReplica(BaseReplica):
         }.get(proposal.phase)
         if qc.phase != expected_phase or len(qc.signatures) < self._quorum:
             return False
-        # The leader broadcasts one QC object to every replica; the
-        # signature scan below depends only on the QC's contents and the
-        # PKI, so the distinct-valid-signer count from the first full
-        # scan is memoized on the instance and reused by every later
-        # receiver.  Failed scans (Byzantine leaders) are not memoized.
-        verified = getattr(qc, "_sig_quorum", -1)
-        if verified >= 0:
-            return verified >= self._quorum
+        # The leader broadcasts one QC object to every replica, so the
+        # distinct-valid-signer count from the first full scan is shared
+        # through the monotonic verified-quorum memo and reused by every
+        # later receiver.  Failed scans (Byzantine leaders) and scans
+        # that fall short of the quorum are not trusted from the memo.
+        if verified_quorum(qc) >= self._quorum:
+            return True
         signers = set()
         for signature in qc.signatures:
             vote_payload = HsVote(qc.phase, qc.instance, qc.height,
@@ -320,7 +321,7 @@ class HotStuffReplica(BaseReplica):
             if not self.registry.verify(vote_payload, signature):
                 return False
             signers.add(signature.signer)
-        object.__setattr__(qc, "_sig_quorum", len(signers))
+        note_verified_quorum(qc, len(signers))
         return len(signers) >= self._quorum
 
     def _on_decide(self, proposal: HsProposal, state: _HeightState) -> None:

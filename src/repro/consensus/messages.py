@@ -290,8 +290,7 @@ class CommitCertificate(CachedEncodable):
         re-scans.
         """
         if members is None:
-            verified = getattr(self, "_verified_quorum", 0)
-            if verified >= quorum:
+            if verified_quorum(self) >= quorum:
                 return
         if len(self.commits) < quorum:
             raise InvalidCertificateError(
@@ -324,7 +323,34 @@ class CommitCertificate(CachedEncodable):
                 f"only {len(signers)} distinct signers, needs {quorum}"
             )
         if members is None:
-            object.__setattr__(self, "_verified_quorum", len(signers))
+            note_verified_quorum(self, len(signers))
+
+
+def verified_quorum(cert: object) -> int:
+    """Return the memoized distinct-valid-signer count for *cert*.
+
+    The simulator hands the *same* certificate object to every replica
+    that receives it, and a signature scan's outcome is a pure function
+    of the certificate's contents and the deployment PKI, so hosts
+    memoize the distinct-valid-signer count of a completed scan on the
+    instance.  ``0`` means nothing has been verified yet.  The memo is
+    host-side bookkeeping only: it is never encoded, and simulated
+    verification cost is charged from the message's contents, not from
+    the memo.
+    """
+    return int(getattr(cert, "_verified_quorum", 0))
+
+
+def note_verified_quorum(cert: object, signers: int) -> None:
+    """Record *signers* distinct valid signatures on *cert*.
+
+    The memo is monotonic: a scan against a smaller quorum must never
+    erase evidence gathered against a larger one, and failed scans are
+    recorded nowhere at all — a later receiver with a stricter
+    threshold re-scans from the certificate itself.
+    """
+    if signers > int(getattr(cert, "_verified_quorum", 0)):
+        object.__setattr__(cert, "_verified_quorum", signers)
 
 
 def adopt_encoding(signed: _M, template: CachedEncodable) -> _M:
@@ -593,7 +619,7 @@ class ZyzzyvaCommitCert(CachedEncodable):
     responses, broadcast when the fast path fails."""
 
     __slots__ = ("batch_id", "view", "seq", "responses",
-                 "_verified_signers")
+                 "_verified_quorum")
 
     batch_id: str
     view: ViewId
@@ -648,7 +674,7 @@ class HsQuorumCert(CachedEncodable):
     calls out."""
 
     __slots__ = ("phase", "instance", "height", "digest", "signatures",
-                 "_sig_quorum")
+                 "_verified_quorum")
 
     phase: str
     instance: int

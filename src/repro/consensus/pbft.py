@@ -435,19 +435,22 @@ class PbftEngine:
                 adopt_encoding(signed, commit)
                 self._owner.broadcast(self._members, signed)
             return
-        slot = self._slot(msg.seq)
-        if slot.preprepare is not None and slot.digest != msg.digest:
-            return  # equivocation: keep the first, let view change handle it
-        if slot.preprepare is None:
+        slot = self._slots.get(msg.seq)
+        if slot is not None and slot.preprepare is not None:
+            if slot.digest != msg.digest:
+                return  # equivocation: keep the first, let view change handle it
+        else:
             if not self._verify_request(msg.request):
                 return
             self._owner.charge_cpu(self._owner.costs.hash_small)
             if msg.request.digest() != msg.digest:
                 return
+            # Slot state materializes only for verified proposals; an
+            # invalid pre-prepare must leave no trace, not even an empty
+            # slot entry.
+            slot = self._slot(msg.seq)
             slot.preprepare = msg
             slot.set_digest(msg.digest)
-            # The sequence window advances only for verified proposals;
-            # an invalid pre-prepare must leave no trace in slot state.
             if msg.seq >= self._next_seq:
                 self._next_seq = msg.seq + 1
             self._seen_batch_ids.add(msg.request.batch_id)

@@ -33,6 +33,8 @@ from .messages import (
     SpecResponse,
     ZyzzyvaCommitCert,
     adopt_encoding,
+    note_verified_quorum,
+    verified_quorum,
 )
 from .replica import BaseReplica
 
@@ -192,8 +194,7 @@ class ZyzzyvaReplica(BaseReplica):
         # the structural + signature scan depends only on the
         # certificate and the PKI, so the first receiver's successful
         # scan (distinct matching signers) serves everyone else.
-        verified = getattr(cert, "_verified_signers", 0)
-        if verified < need:
+        if verified_quorum(cert) < need:
             if len(cert.responses) < need:
                 return
             digests = {r.results_digest for r in cert.responses}
@@ -210,7 +211,7 @@ class ZyzzyvaReplica(BaseReplica):
                     response.signature,
                 ):
                     return
-            object.__setattr__(cert, "_verified_signers", len(signers))
+            note_verified_quorum(cert, len(signers))
         self._committed.add(cert.seq)
         instr = self._instrumentation
         if instr is not None:

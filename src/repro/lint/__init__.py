@@ -10,6 +10,14 @@ protocol handlers verify before they mutate.  This package turns those
 contracts into machine-checked rules, the way deterministic-simulation
 shops (FoundationDB and descendants) lint their sim code.
 
+On top of the per-file rules, the interprocedural layer parses the
+whole package as one program (:mod:`repro.lint.symbols`) and checks it
+against the declarative per-protocol tables in
+:mod:`repro.lint.specs`: the message-flow graph
+(:mod:`repro.lint.msgflow`), helper-delegated verify ordering
+(:mod:`repro.lint.taint`), and quorum arithmetic
+(:mod:`repro.lint.quorum`).
+
 Public surface:
 
 * :func:`run_lint` / :class:`LintReport` — run the rule engine over
@@ -18,6 +26,11 @@ Public surface:
   catalogue (see ``docs/static_analysis.md``).
 * :data:`~repro.lint.allowlist.ALLOWLIST` — the committed allowlist of
   justified exceptions.
+* :func:`~repro.lint.msgflow.extract_flows` /
+  :func:`~repro.lint.msgflow.flow_report` /
+  :func:`~repro.lint.msgflow.flow_dot` — the message-flow graph behind
+  ``repro lint --flow-report`` / ``--flow-dot`` and the committed
+  goldens in ``tests/golden/``.
 
 Suppressions: append ``# repro: allow[rule-id] <reason>`` to the
 flagged line (or put it on its own line directly above).  Allowlist
@@ -29,16 +42,28 @@ from __future__ import annotations
 
 from .allowlist import ALLOWLIST, AllowlistEntry
 from .engine import Finding, LintReport, run_lint
-from .rules import RULES, Rule, default_rules, rule_ids
+from .msgflow import extract_flows, flow_dot, flow_report
+from .rules import RULES, ProjectRule, Rule, default_rules, rule_ids
+from .specs import PROTOCOL_SPECS, MessageSpec, ProtocolSpec
+from .symbols import ProjectIndex, build_index
 
 __all__ = [
     "ALLOWLIST",
     "AllowlistEntry",
     "Finding",
     "LintReport",
+    "MessageSpec",
+    "PROTOCOL_SPECS",
+    "ProjectIndex",
+    "ProjectRule",
+    "ProtocolSpec",
     "RULES",
     "Rule",
+    "build_index",
     "default_rules",
+    "extract_flows",
+    "flow_dot",
+    "flow_report",
     "rule_ids",
     "run_lint",
 ]

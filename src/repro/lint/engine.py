@@ -25,7 +25,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..errors import ConfigurationError
 from .allowlist import ALLOWLIST, AllowlistEntry
-from .rules import Rule, default_rules
+from .rules import ProjectRule, Rule, default_rules
 
 #: Inline suppression syntax: ``# repro: allow[rule-id]`` or
 #: ``# repro: allow[rule-a, rule-b] optional free-text reason``.
@@ -170,15 +170,50 @@ class LintReport:
         return not self.findings
 
     def to_dict(self) -> dict:
-        """The stable ``--json`` schema (version 1)."""
+        """The stable ``--json`` schema (version 2).
+
+        Version 2 is a strict superset of version 1: every v1 key keeps
+        its meaning, and a ``counts`` object (total and per-rule
+        finding/waiver counts) is added so dashboards do not have to
+        re-aggregate.  :meth:`from_dict` accepts both versions.
+        """
+        by_rule: Dict[str, int] = {}
+        for finding in self.findings:
+            by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
         return {
-            "version": 1,
+            "version": 2,
             "ok": self.ok,
             "files_checked": self.files_checked,
             "rules": list(self.rules_run),
             "findings": [f.to_dict() for f in self.findings],
             "waived": [f.to_dict() for f in self.waived],
+            "counts": {
+                "findings": len(self.findings),
+                "waived": len(self.waived),
+                "by_rule": {rule: by_rule[rule]
+                            for rule in sorted(by_rule)},
+            },
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LintReport":
+        """Rebuild a report from a ``--json`` document (v1 or v2)."""
+        version = payload.get("version")
+        if version not in (1, 2):
+            raise ConfigurationError(
+                f"unsupported lint report version {version!r}; "
+                "expected 1 or 2")
+        def _finding(entry: dict) -> Finding:
+            return Finding(rule=entry["rule"], path=entry["path"],
+                           line=entry["line"], col=entry["col"],
+                           message=entry["message"],
+                           symbol=entry.get("symbol", "<module>"))
+        return cls(
+            findings=[_finding(e) for e in payload.get("findings", [])],
+            files_checked=payload.get("files_checked", 0),
+            rules_run=tuple(payload.get("rules", ())),
+            waived=[_finding(e) for e in payload.get("waived", [])],
+        )
 
     def format_text(self) -> str:
         out = [finding.format() for finding in self.findings]
@@ -215,12 +250,20 @@ def lint_source(source: str, path: str = "<string>",
                 rules: Optional[Sequence[Rule]] = None,
                 allowlist: Optional[Sequence[AllowlistEntry]] = None,
                 ) -> LintReport:
-    """Lint one in-memory source blob (the unit-test entry point)."""
+    """Lint one in-memory source blob (the unit-test entry point).
+
+    Whole-program rules see a one-file program, which is exactly what
+    the planted-defect fixtures want.
+    """
     active = list(rules) if rules is not None else default_rules()
     entries = ALLOWLIST if allowlist is None else list(allowlist)
     _validate_allowlist(entries)
     report = LintReport(rules_run=tuple(rule.id for rule in active))
-    _lint_one(source, path, active, entries, report)
+    ctx = _lint_one(source, path, active, entries, report)
+    if ctx is not None:
+        _run_project_rules([ctx], active, entries, report,
+                           {ctx.norm_path: _suppressions(ctx.lines)},
+                           {ctx.norm_path})
     report.files_checked = 1
     _finish(report)
     return report
@@ -229,17 +272,47 @@ def lint_source(source: str, path: str = "<string>",
 def run_lint(paths: Iterable[str],
              rules: Optional[Sequence[Rule]] = None,
              allowlist: Optional[Sequence[AllowlistEntry]] = None,
+             project_scope: Optional[Iterable[str]] = None,
              ) -> LintReport:
-    """Lint files and directories; returns a :class:`LintReport`."""
+    """Lint files and directories; returns a :class:`LintReport`.
+
+    ``project_scope`` names extra files/directories the whole-program
+    rules should parse *in addition to* ``paths`` (so ``--changed`` can
+    lint a handful of files while the interprocedural passes still see
+    the full package).  Findings are only ever reported against
+    ``paths``.
+    """
     active = list(rules) if rules is not None else default_rules()
     entries = ALLOWLIST if allowlist is None else list(allowlist)
     _validate_allowlist(entries)
     files = discover_files(paths)
     report = LintReport(rules_run=tuple(rule.id for rule in active))
+    contexts: List[FileContext] = []
+    suppressions: Dict[str, Dict[int, Set[str]]] = {}
     for file_path in files:
         with open(file_path, "r", encoding="utf-8") as handle:
             source = handle.read()
-        _lint_one(source, file_path, active, entries, report)
+        ctx = _lint_one(source, file_path, active, entries, report)
+        if ctx is not None:
+            contexts.append(ctx)
+            suppressions[ctx.norm_path] = _suppressions(ctx.lines)
+    linted = {ctx.norm_path for ctx in contexts}
+    if project_scope is not None:
+        for file_path in discover_files(project_scope):
+            norm = file_path.replace(os.sep, "/")
+            if norm in linted:
+                continue
+            with open(file_path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            try:
+                tree = ast.parse(source, filename=file_path)
+            except SyntaxError:
+                continue  # per-file linting of that file will report it
+            ctx = FileContext(file_path, source, tree)
+            contexts.append(ctx)
+            suppressions[ctx.norm_path] = _suppressions(ctx.lines)
+    _run_project_rules(contexts, active, entries, report, suppressions,
+                       linted)
     report.files_checked = len(files)
     _finish(report)
     return report
@@ -247,7 +320,7 @@ def run_lint(paths: Iterable[str],
 
 def _lint_one(source: str, path: str, rules: Sequence[Rule],
               allowlist: Sequence[AllowlistEntry],
-              report: LintReport) -> None:
+              report: LintReport) -> Optional[FileContext]:
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
@@ -255,14 +328,51 @@ def _lint_one(source: str, path: str, rules: Sequence[Rule],
             rule="parse-error", path=path, line=exc.lineno or 1,
             col=(exc.offset or 1) - 1,
             message=f"file does not parse: {exc.msg}"))
-        return
+        return None
     ctx = FileContext(path, source, tree)
     suppressed = _suppressions(ctx.lines)
     for rule in rules:
+        if isinstance(rule, ProjectRule):
+            continue
         if not rule.applies_to(ctx):
             continue
         for finding in rule.run(ctx):
             if finding.rule in suppressed.get(finding.line, ()):
+                report.waived.append(finding)
+            elif _allowlisted(finding, allowlist):
+                report.waived.append(finding)
+            else:
+                report.findings.append(finding)
+    return ctx
+
+
+def _run_project_rules(contexts: Sequence[FileContext],
+                       rules: Sequence[Rule],
+                       allowlist: Sequence[AllowlistEntry],
+                       report: LintReport,
+                       suppressions: Dict[str, Dict[int, Set[str]]],
+                       linted: Set[str]) -> None:
+    """Run whole-program rules over every parsed file at once.
+
+    Findings flow through the same per-line suppressions and allowlist
+    as per-file findings, and are dropped unless they land in a file
+    that was actually linted (``linted`` holds normalized paths) — a
+    ``--changed`` run must not resurface findings in untouched files.
+    """
+    project_rules = [rule for rule in rules
+                     if isinstance(rule, ProjectRule)]
+    if not project_rules or not contexts:
+        return
+    from .symbols import build_index
+
+    index = build_index((ctx.norm_path, ctx.tree) for ctx in contexts)
+    for rule in project_rules:
+        for finding in rule.run_project(index):
+            norm = finding.path.replace(os.sep, "/")
+            if norm not in linted:
+                continue
+            if finding.rule in suppressions.get(norm, {}).get(
+                    finding.line, ()):
                 report.waived.append(finding)
             elif _allowlisted(finding, allowlist):
                 report.waived.append(finding)

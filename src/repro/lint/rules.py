@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from .engine import FileContext, Finding
+    from .symbols import ProjectIndex
 
 
 class Rule(ast.NodeVisitor):
@@ -67,6 +68,33 @@ class Rule(ast.NodeVisitor):
             rule=self.id, path=ctx.path, line=line,
             col=getattr(node, "col_offset", 0), message=message,
             symbol=ctx.symbol_at(line)))
+
+
+class ProjectRule(Rule):
+    """Base class for whole-program rules.
+
+    Unlike per-file rules, a :class:`ProjectRule` runs once per lint
+    run against the :class:`~repro.lint.symbols.ProjectIndex` built
+    from every parsed file, so it can follow call edges and message
+    flows across modules.  Findings still pass through the same inline
+    suppression and allowlist filters, keyed by the file each finding
+    lands in.
+    """
+
+    def applies_to(self, ctx: "FileContext") -> bool:
+        return False  # never runs in the per-file loop
+
+    def run_project(self, project: "ProjectIndex") -> List["Finding"]:
+        """Analyze the whole program; return findings."""
+        raise NotImplementedError
+
+    def emit(self, path: str, line: int, col: int, symbol: str,
+             message: str) -> None:
+        from .engine import Finding
+
+        self._findings.append(Finding(
+            rule=self.id, path=path, line=line, col=col,
+            message=message, symbol=symbol))
 
 
 def _root_name(node: ast.AST) -> Optional[str]:
@@ -465,15 +493,9 @@ class SlotsCoverage(Rule):
         self.generic_visit(node)
 
 
-#: Protocol modules under the verify-before-mutate contract.
-_PROTOCOL_MODULES = (
-    "repro/consensus/pbft.py",
-    "repro/consensus/zyzzyva.py",
-    "repro/consensus/hotstuff.py",
-    "repro/consensus/steward.py",
-    "repro/core/geobft.py",
-    "repro/core/remote_view_change.py",
-)
+#: Protocol modules under the verify-before-mutate contract (shared
+#: with the interprocedural passes; declared once in specs.py).
+from .specs import PROTOCOL_MODULES as _PROTOCOL_MODULES  # noqa: E402
 
 #: Method names that mutate their receiver in place.
 _MUTATORS = {"add", "append", "extend", "insert", "update", "setdefault",
@@ -698,6 +720,14 @@ class NoCrossWorkerSharedState(Rule):
         self.generic_visit(node)
 
 
+# The whole-program rules live in their own modules (they need the
+# project index and the spec tables); imported here, after ProjectRule
+# is defined, so the catalogue below stays the single registry.
+from .msgflow import (FlowDeadHandler, FlowOrphanMessage,  # noqa: E402
+                      FlowSpecDivergence)
+from .quorum import QuorumArithmetic  # noqa: E402
+from .taint import VerifyTaint  # noqa: E402
+
 #: The catalogue, in documentation order.
 RULES: List[Type[Rule]] = [
     NoWallclock,
@@ -708,6 +738,11 @@ RULES: List[Type[Rule]] = [
     VerifyBeforeMutate,
     NoSilentExcept,
     NoCrossWorkerSharedState,
+    VerifyTaint,
+    QuorumArithmetic,
+    FlowOrphanMessage,
+    FlowDeadHandler,
+    FlowSpecDivergence,
 ]
 
 

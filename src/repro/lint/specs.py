@@ -1,0 +1,460 @@
+"""Declarative per-protocol message-flow and quorum specs.
+
+This module is the *contract* side of the interprocedural passes: for
+each protocol it names the message classes that may appear on the wire,
+who is allowed to construct them, who must consume them, how they fan
+out, and which quorum-arithmetic classes its threshold comparisons may
+use.  The extraction side (:mod:`repro.lint.msgflow`,
+:mod:`repro.lint.quorum`) checks the code against these tables, so a
+protocol edit that changes an edge shows up as a reviewable spec/golden
+diff instead of a silent drift.
+
+Fan-out kinds (see ``msgflow._classify_use``):
+
+* ``broadcast`` — handed to ``broadcast``/``multicast``/
+  ``_multicast_distinct`` (all members, one schedule entry each);
+* ``multi-unicast`` — ``send``/``send_at`` inside a loop (e.g. the
+  ``f + 1`` GlobalShare fan-out per remote cluster);
+* ``unicast`` — a single targeted ``send``/``send_at``;
+* ``embedded`` — constructed to ride inside another message;
+* ``returned`` / ``local`` — never leaves the constructing replica
+  directly (templates for sign-then-rebuild, loopback handling).
+
+Quorum classes (see ``quorum._classify``): ``n-f``, ``2f+1``, ``f+1``,
+``all-n``, ``k`` (threshold-scheme parameter), ``param`` (a formal
+parameter named ``*quorum*`` — the caller declared it), ``declared`` is
+resolved to the class of its declaration site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+__all__ = [
+    "MESSAGE_MODULES",
+    "PROTOCOL_MODULES",
+    "PROTOCOL_SPECS",
+    "QUORUM_MODULE_CLASSES",
+    "MessageSpec",
+    "ProtocolSpec",
+    "protocol_for_module",
+]
+
+#: Modules defining the wire message classes (CachedEncodable subclasses).
+MESSAGE_MODULES: Tuple[str, ...] = ("repro/consensus/messages.py",)
+
+#: Protocol modules under the interprocedural verify-taint and
+#: quorum-arithmetic contracts (the per-file verify-before-mutate rule
+#: shares this scope via ``repro.lint.rules``).
+PROTOCOL_MODULES: Tuple[str, ...] = (
+    "repro/consensus/pbft.py",
+    "repro/consensus/zyzzyva.py",
+    "repro/consensus/hotstuff.py",
+    "repro/consensus/steward.py",
+    "repro/core/geobft.py",
+    "repro/core/remote_view_change.py",
+)
+
+#: Client-side modules that drive every protocol: they construct
+#: ClientRequestBatch and consume the reply-side messages, so they are
+#: part of each protocol's flow scope.
+CLIENT_MODULES: Tuple[str, ...] = (
+    "repro/workload/client.py",
+    "repro/workload/traffic.py",
+)
+
+
+@dataclass(frozen=True)
+class MessageSpec:
+    """Expected flow of one message class within one protocol."""
+
+    name: str
+    #: Human-readable protocol phase the message belongs to.
+    phase: str
+    #: Exact ``Class.method`` qualnames allowed to construct it (within
+    #: the protocol's module scope).
+    producers: Tuple[str, ...]
+    #: Exact ``Class.method`` qualnames of the annotated handlers that
+    #: consume it (dispatch sites are graph metadata, not spec-checked).
+    consumers: Tuple[str, ...]
+    #: The full fan-out kind set extraction must observe.
+    fanout: Tuple[str, ...]
+    #: The consuming half lives outside this protocol's static scope or
+    #: behind a runtime mode switch — e.g. the open-loop traffic
+    #: engine's Zyzzyva commit-certificate fallback is present in every
+    #: protocol's scope but only ever runs in zyzzyva mode.  Exempt
+    #: from the orphan check; still spec-checked for drift.
+    external: bool = False
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """One protocol's declared message-flow scope and quorum classes."""
+
+    name: str
+    #: Normalized path suffixes forming the protocol's program scope.
+    modules: Tuple[str, ...]
+    #: Protocol phases, in order (documentation + flow-report metadata).
+    phases: Tuple[str, ...]
+    #: Quorum-arithmetic classes its threshold comparisons may use.
+    quorum_classes: Tuple[str, ...]
+    messages: Tuple[MessageSpec, ...] = field(default=())
+
+    def message(self, name: str) -> Optional[MessageSpec]:
+        for spec in self.messages:
+            if spec.name == name:
+                return spec
+        return None
+
+
+def protocol_for_module(path: str,
+                        protocol_specs: Tuple[ProtocolSpec, ...],
+                        ) -> Optional[ProtocolSpec]:
+    """The first protocol spec whose scope contains ``path``."""
+    for spec in protocol_specs:
+        if any(path.endswith(suffix) for suffix in spec.modules):
+            return spec
+    return None
+
+
+#: Allowed quorum classes per module (threshold comparisons in a module
+#: must reduce to one of these).  ``messages.py`` verifies certificates
+#: on behalf of every protocol, so it takes the caller's word for the
+#: quorum (``param``).
+QUORUM_MODULE_CLASSES: Mapping[str, Tuple[str, ...]] = {
+    "repro/consensus/pbft.py": ("n-f", "f+1"),
+    "repro/consensus/zyzzyva.py": ("2f+1", "all-n", "f+1"),
+    "repro/consensus/hotstuff.py": ("n-f",),
+    "repro/consensus/steward.py": ("n-f", "f+1"),
+    "repro/core/geobft.py": ("n-f", "f+1", "k"),
+    "repro/core/remote_view_change.py": ("n-f", "f+1"),
+    "repro/consensus/messages.py": ("n-f", "2f+1", "f+1", "k", "param"),
+}
+
+
+#: The PBFT engine's own messages.  Steward and GeoBFT embed the
+#: engine (``repro/consensus/pbft.py`` is in their scope), so these
+#: entries are shared verbatim by all three tables — dispatch sites
+#: differ per protocol, but dispatch is graph metadata, not
+#: spec-checked.
+_PBFT_ENGINE_MESSAGES: Tuple[MessageSpec, ...] = (
+    MessageSpec(
+        "PrePrepare", "pre-prepare",
+        producers=("PbftEngine._install_new_view", "PbftEngine._propose"),
+        consumers=("PbftEngine._on_preprepare",),
+        fanout=("broadcast", "local"),
+    ),
+    MessageSpec(
+        "Prepare", "prepare",
+        producers=("PbftEngine._on_preprepare",),
+        consumers=("PbftEngine._on_prepare",),
+        fanout=("broadcast",),
+    ),
+    MessageSpec(
+        "Commit", "commit",
+        producers=("PbftEngine._maybe_send_commit",
+                   "PbftEngine._on_preprepare"),
+        consumers=("PbftEngine._on_commit",),
+        fanout=("broadcast", "local"),
+    ),
+    MessageSpec(
+        "CommitCertificate", "commit",
+        producers=("PbftEngine._maybe_decide",),
+        consumers=(),
+        fanout=("local",),
+    ),
+    MessageSpec(
+        "Checkpoint", "checkpoint",
+        producers=("PbftEngine._emit_checkpoint",),
+        consumers=("PbftEngine._on_checkpoint",),
+        fanout=("broadcast", "local"),
+    ),
+    MessageSpec(
+        "ViewChange", "view-change",
+        producers=("PbftEngine.start_view_change",),
+        consumers=("PbftEngine._on_view_change_msg",),
+        fanout=("broadcast", "local"),
+    ),
+    MessageSpec(
+        "NewView", "view-change",
+        producers=("PbftEngine._install_new_view",),
+        consumers=("PbftEngine._on_new_view",),
+        fanout=("broadcast", "local"),
+    ),
+    MessageSpec(
+        "PreparedEntry", "view-change",
+        producers=("PbftEngine._prepared_entries",),
+        consumers=(),
+        fanout=("local",),
+    ),
+    MessageSpec(
+        "FetchDecision", "catch-up",
+        producers=("PbftEngine._catch_up_to_stable",),
+        consumers=("PbftEngine._on_fetch_decision",),
+        fanout=("multi-unicast",),
+    ),
+    MessageSpec(
+        "DecisionTransfer", "catch-up",
+        producers=("PbftEngine._on_fetch_decision",),
+        consumers=("PbftEngine._on_decision_transfer",),
+        fanout=("unicast",),
+    ),
+)
+
+#: The open-loop traffic engine handles every protocol's reply shapes
+#: and carries Zyzzyva's client-side commit-certificate fallback, so
+#: these sightings exist in every protocol scope that includes
+#: ``repro/workload/traffic.py``.  In non-zyzzyva scopes the
+#: certificate's consumer is mode-gated away — hence ``external``.
+_CLIENT_FALLBACK_MESSAGES: Tuple[MessageSpec, ...] = (
+    MessageSpec(
+        "SpecResponse", "client",
+        producers=(),
+        consumers=("OpenLoopSource._on_spec_response",),
+        fanout=(),
+    ),
+    MessageSpec(
+        "LocalCommit", "client",
+        producers=(),
+        consumers=("OpenLoopSource._on_local_commit",),
+        fanout=(),
+    ),
+    MessageSpec(
+        "ZyzzyvaCommitCert", "client",
+        producers=("OpenLoopSource._zyzzyva_timeout",),
+        consumers=(),
+        fanout=("multi-unicast",),
+        external=True,
+    ),
+)
+
+
+PROTOCOL_SPECS: Tuple[ProtocolSpec, ...] = (
+    ProtocolSpec(
+        name="pbft",
+        modules=("repro/consensus/pbft.py",) + CLIENT_MODULES,
+        phases=("request", "pre-prepare", "prepare", "commit", "reply",
+                "checkpoint", "view-change", "catch-up"),
+        quorum_classes=("n-f", "f+1"),
+        messages=_PBFT_ENGINE_MESSAGES + _CLIENT_FALLBACK_MESSAGES + (
+            MessageSpec(
+                "ClientRequestBatch", "request",
+                producers=("OpenLoopSource._inject",
+                           "PbftEngine._install_new_view",
+                           "PbftEngine.submit_noop",
+                           "QuorumClient._submit_next"),
+                consumers=("PbftReplica._on_client_request",
+                           "PbftReplica._on_decide"),
+                fanout=("embedded", "local", "multi-unicast", "returned"),
+            ),
+            MessageSpec(
+                "ClientReply", "reply",
+                producers=("PbftReplica._on_decide",),
+                consumers=("OpenLoopSource._on_reply",
+                           "QuorumClient._on_reply"),
+                fanout=("unicast",),
+            ),
+        ),
+    ),
+    ProtocolSpec(
+        name="zyzzyva",
+        modules=("repro/consensus/zyzzyva.py",) + CLIENT_MODULES,
+        phases=("request", "order", "spec-response", "commit-cert",
+                "local-commit"),
+        quorum_classes=("2f+1", "all-n", "f+1"),
+        messages=(
+            MessageSpec(
+                "ClientRequestBatch", "request",
+                producers=("OpenLoopSource._inject",
+                           "QuorumClient._submit_next",
+                           "ZyzzyvaClient._submit_next"),
+                consumers=("ZyzzyvaReplica._on_client_request",),
+                fanout=("local", "multi-unicast", "unicast"),
+            ),
+            MessageSpec(
+                "OrderedRequest", "order",
+                producers=("ZyzzyvaReplica._on_client_request",),
+                consumers=("ZyzzyvaReplica._on_ordered_request",),
+                fanout=("broadcast", "local"),
+            ),
+            MessageSpec(
+                "SpecResponse", "spec-response",
+                producers=("ZyzzyvaReplica._on_commit_cert",
+                           "ZyzzyvaReplica._speculative_execute"),
+                consumers=("OpenLoopSource._on_spec_response",
+                           "ZyzzyvaClient._on_spec_response"),
+                fanout=("local", "unicast"),
+            ),
+            MessageSpec(
+                "ZyzzyvaCommitCert", "commit-cert",
+                producers=("OpenLoopSource._zyzzyva_timeout",
+                           "ZyzzyvaClient._on_spec_timeout"),
+                consumers=("ZyzzyvaReplica._on_commit_cert",),
+                fanout=("multi-unicast",),
+            ),
+            MessageSpec(
+                "LocalCommit", "local-commit",
+                producers=("ZyzzyvaReplica._on_commit_cert",),
+                consumers=("OpenLoopSource._on_local_commit",
+                           "ZyzzyvaClient._on_local_commit"),
+                fanout=("unicast",),
+            ),
+            MessageSpec(
+                "ClientReply", "request",
+                producers=(),
+                consumers=("OpenLoopSource._on_reply",
+                           "QuorumClient._on_reply"),
+                fanout=(),
+            ),
+        ),
+    ),
+    ProtocolSpec(
+        name="hotstuff",
+        modules=("repro/consensus/hotstuff.py",) + CLIENT_MODULES,
+        phases=("request", "prepare", "precommit", "commit", "decide"),
+        quorum_classes=("n-f",),
+        messages=_CLIENT_FALLBACK_MESSAGES + (
+            MessageSpec(
+                "ClientRequestBatch", "request",
+                producers=("OpenLoopSource._inject",
+                           "QuorumClient._submit_next"),
+                consumers=("HotStuffReplica._on_client_request",),
+                fanout=("local", "multi-unicast"),
+            ),
+            MessageSpec(
+                "HsProposal", "prepare",
+                producers=("HotStuffReplica._on_vote",
+                           "HotStuffReplica._pump"),
+                consumers=("HotStuffReplica._on_decide",
+                           "HotStuffReplica._on_proposal"),
+                fanout=("broadcast", "local"),
+            ),
+            MessageSpec(
+                "HsVote", "prepare",
+                producers=("HotStuffReplica._process_proposal",
+                           "HotStuffReplica._verify_qc"),
+                consumers=("HotStuffReplica._on_vote",),
+                fanout=("local", "unicast"),
+            ),
+            MessageSpec(
+                "HsQuorumCert", "precommit",
+                producers=("HotStuffReplica._on_vote",),
+                consumers=(),
+                fanout=("embedded",),
+            ),
+            MessageSpec(
+                "ClientReply", "decide",
+                producers=("HotStuffReplica._on_decide",),
+                consumers=("OpenLoopSource._on_reply",
+                           "QuorumClient._on_reply"),
+                fanout=("unicast",),
+            ),
+        ),
+    ),
+    ProtocolSpec(
+        name="steward",
+        modules=("repro/consensus/steward.py",
+                 "repro/consensus/pbft.py") + CLIENT_MODULES,
+        phases=("request", "local-pbft", "forward", "global-order",
+                "reply"),
+        quorum_classes=("n-f", "f+1"),
+        messages=_PBFT_ENGINE_MESSAGES + _CLIENT_FALLBACK_MESSAGES + (
+            MessageSpec(
+                "ClientRequestBatch", "request",
+                producers=("OpenLoopSource._inject",
+                           "PbftEngine._install_new_view",
+                           "PbftEngine.submit_noop",
+                           "QuorumClient._submit_next"),
+                consumers=("PbftReplica._on_client_request",
+                           "PbftReplica._on_decide",
+                           "StewardReplica._on_client_request",
+                           "StewardReplica._on_engine_decide"),
+                fanout=("embedded", "local", "multi-unicast", "returned"),
+            ),
+            MessageSpec(
+                "StewardForward", "forward",
+                producers=("StewardReplica._on_engine_decide",),
+                consumers=("StewardReplica._on_forward",),
+                fanout=("multi-unicast",),
+            ),
+            MessageSpec(
+                "StewardGlobalOrder", "global-order",
+                producers=("StewardReplica._disseminate",
+                           "StewardReplica._on_global_order"),
+                consumers=("StewardReplica._on_global_order",),
+                fanout=("broadcast", "multi-unicast"),
+            ),
+            MessageSpec(
+                "ClientReply", "reply",
+                producers=("PbftReplica._on_decide",
+                           "StewardReplica._deliver_global"),
+                consumers=("OpenLoopSource._on_reply",
+                           "QuorumClient._on_reply"),
+                fanout=("unicast",),
+            ),
+        ),
+    ),
+    ProtocolSpec(
+        name="geobft",
+        modules=("repro/core/geobft.py",
+                 "repro/core/remote_view_change.py",
+                 "repro/consensus/pbft.py") + CLIENT_MODULES,
+        phases=("request", "local-pbft", "cert-share", "global-share",
+                "execute", "remote-view-change"),
+        quorum_classes=("n-f", "f+1", "k"),
+        messages=_PBFT_ENGINE_MESSAGES + _CLIENT_FALLBACK_MESSAGES + (
+            MessageSpec(
+                "ClientRequestBatch", "request",
+                producers=("OpenLoopSource._inject",
+                           "PbftEngine._install_new_view",
+                           "PbftEngine.submit_noop",
+                           "QuorumClient._submit_next"),
+                consumers=("GeoBftReplica._on_client_request",
+                           "GeoBftReplica._on_local_decide",
+                           "PbftReplica._on_client_request",
+                           "PbftReplica._on_decide"),
+                fanout=("embedded", "local", "multi-unicast", "returned"),
+            ),
+            MessageSpec(
+                "CertShare", "cert-share",
+                producers=("GeoBftReplica._contribute_cert_share",),
+                consumers=("GeoBftReplica._on_cert_share",),
+                fanout=("local", "unicast"),
+            ),
+            MessageSpec(
+                "ThresholdCommitCertificate", "cert-share",
+                producers=("GeoBftReplica._record_cert_share",),
+                consumers=(),
+                fanout=("local",),
+            ),
+            MessageSpec(
+                "GlobalShare", "global-share",
+                producers=("GeoBftReplica._on_global_share",
+                           "GeoBftReplica._share_globally"),
+                consumers=("GeoBftReplica._on_global_share",),
+                fanout=("broadcast", "multi-unicast"),
+            ),
+            MessageSpec(
+                "ClientReply", "execute",
+                producers=("GeoBftReplica._execute_round",
+                           "PbftReplica._on_decide"),
+                consumers=("OpenLoopSource._on_reply",
+                           "QuorumClient._on_reply"),
+                fanout=("multi-unicast", "unicast"),
+            ),
+            MessageSpec(
+                "Drvc", "remote-view-change",
+                producers=("RemoteViewChangeManager._detect_failure",),
+                consumers=("RemoteViewChangeManager.handle_drvc",),
+                fanout=("broadcast", "local"),
+            ),
+            MessageSpec(
+                "Rvc", "remote-view-change",
+                producers=("RemoteViewChangeManager._send_rvc",),
+                consumers=("RemoteViewChangeManager.handle_rvc",),
+                fanout=("local", "unicast"),
+            ),
+        ),
+    ),
+)

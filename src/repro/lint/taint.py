@@ -1,0 +1,162 @@
+"""Interprocedural verify-taint: verification must dominate mutation.
+
+The per-file ``verify-before-mutate`` rule catches a handler that
+*directly* writes ``self`` state before its first verification.  This
+pass generalizes it through the call graph: a handler that calls
+``self._slot(seq)`` before verifying is just as unsafe if ``_slot``
+creates the slot entry two frames down.  For every handler in the
+protocol modules that performs a verification, every ``self.helper()``
+(or same-module ``helper()``) call *before* the first verify call is
+resolved through :class:`~repro.lint.symbols.ProjectIndex`; if the
+callee transitively mutates ``self`` state, the call site is a finding.
+
+Like its per-file sibling, the pass approximates dominance by source
+order (the protocol handlers are straight-line guard ladders, so the
+first verify line dominates everything after it), and it stays
+precise over complete: only ``self.m()`` and bare same-module calls
+are followed — an unresolvable call is treated as non-mutating rather
+than guessed at.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from .rules import ProjectRule, _MUTATORS, _VERIFY_NAMES, _root_name
+from .specs import PROTOCOL_MODULES
+from .symbols import FunctionInfo, ProjectIndex
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import Finding
+
+__all__ = ["VerifyTaint"]
+
+
+def _directly_mutates_self(fn: FunctionInfo) -> bool:
+    """Does this function write a ``self`` attribute or call an
+    in-place mutator on one?"""
+    for node in ast.walk(fn.node):
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                if (isinstance(target, (ast.Attribute, ast.Subscript))
+                        and _root_name(target) == "self"):
+                    return True
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (isinstance(func, ast.Attribute) and func.attr in _MUTATORS
+                    and _root_name(func.value) == "self"):
+                return True
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if (isinstance(target, (ast.Attribute, ast.Subscript))
+                        and _root_name(target) == "self"):
+                    return True
+    return False
+
+
+def _first_verify_line(fn: FunctionInfo) -> Optional[int]:
+    best: Optional[int] = None
+    for site in fn.calls:
+        if any(marker in site.name for marker in _VERIFY_NAMES):
+            if best is None or site.lineno < best:
+                best = site.lineno
+    return best
+
+
+def _resolve(project: ProjectIndex, caller: FunctionInfo, name: str,
+             kind: str) -> Optional[FunctionInfo]:
+    if kind == "self":
+        return project.resolve_self_call(caller, name)
+    if kind == "bare":
+        return project.resolve_bare_call(caller, name)
+    return None
+
+
+def _transitive_mutators(project: ProjectIndex,
+                         fns: Sequence[FunctionInfo]
+                         ) -> Dict[FunctionInfo, bool]:
+    """Fixpoint over the call graph: which functions (transitively)
+    mutate ``self`` state.  Mutation propagates only through ``self``
+    method calls — a helper reached via ``self.m()`` shares the same
+    receiver, so its writes are the handler's writes."""
+    mutates: Dict[FunctionInfo, bool] = {
+        fn: _directly_mutates_self(fn) for fn in fns
+    }
+    changed = True
+    while changed:
+        changed = False
+        for fn in fns:
+            if mutates[fn]:
+                continue
+            for site in fn.calls:
+                if site.kind != "self":
+                    continue
+                callee = project.resolve_self_call(fn, site.name)
+                if callee is not None and mutates.get(callee, False):
+                    mutates[fn] = True
+                    changed = True
+                    break
+    return mutates
+
+
+def _is_handler(fn: FunctionInfo) -> bool:
+    return fn.name.startswith("_on_") or fn.name.startswith("handle")
+
+
+class VerifyTaint(ProjectRule):
+    """Helper-delegated mutations must come after verification too."""
+
+    id = "verify-taint"
+    summary = ("helpers called before a handler's first verify must not "
+               "mutate replica state")
+    rationale = (
+        "The verify-before-mutate contract (Castro & Liskov §4) does "
+        "not stop at the handler's own statements: a helper reached "
+        "through self.m() writes the same replica state.  In any "
+        "protocol handler that performs a verification, every call "
+        "before the first verify is resolved through the project call "
+        "graph; reaching a transitive self-mutation there leaves "
+        "poisoned state behind when verification subsequently fails."
+    )
+
+    def __init__(self,
+                 modules: Optional[Sequence[str]] = None) -> None:
+        super().__init__()
+        self._modules = (tuple(modules) if modules is not None
+                         else PROTOCOL_MODULES)
+
+    def run_project(self, project: ProjectIndex) -> List["Finding"]:
+        self._findings = []
+        fns = list(project.iter_functions(self._modules))
+        mutates = _transitive_mutators(project, fns)
+        for fn in fns:
+            if not _is_handler(fn):
+                continue
+            verify_line = _first_verify_line(fn)
+            if verify_line is None:
+                # Handlers without verification are exempt: their
+                # messages are MAC-authenticated by the transport.
+                continue
+            best = None
+            for site in sorted(fn.calls, key=lambda s: s.lineno):
+                if site.lineno >= verify_line:
+                    break
+                callee = _resolve(project, fn, site.name, site.kind)
+                if callee is None or callee is fn:
+                    continue
+                if mutates.get(callee, False):
+                    best = (site, callee)
+                    break
+            if best is not None:
+                site, callee = best
+                self.emit(fn.path, site.lineno, 0, fn.qualname,
+                          f"handler {fn.qualname} calls "
+                          f"{callee.qualname} on line {site.lineno} "
+                          "before its first verification on line "
+                          f"{verify_line}, and {callee.qualname} "
+                          "transitively mutates replica state; verify "
+                          "first, then mutate")
+        return self._findings

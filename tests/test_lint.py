@@ -614,14 +614,53 @@ def b():
         bad.write_text(WALLCLOCK_BAD)
         report = run_lint([str(bad)])
         payload = report.to_dict()
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert payload["ok"] is False
         assert payload["files_checked"] == 1
         assert set(payload["rules"]) == set(rule_ids())
         finding = payload["findings"][0]
         assert set(finding) == {"rule", "path", "line", "col", "message",
                                 "symbol"}
+        assert payload["counts"]["findings"] == len(payload["findings"])
+        assert payload["counts"]["waived"] == len(payload["waived"])
+        assert payload["counts"]["by_rule"]["no-wallclock"] == 1
         assert json.loads(json.dumps(payload)) == payload
+
+    def test_json_schema_round_trips(self, tmp_path):
+        from repro.lint import LintReport
+
+        bad = tmp_path / "bad.py"
+        bad.write_text(WALLCLOCK_BAD)
+        report = run_lint([str(bad)])
+        payload = json.loads(json.dumps(report.to_dict()))
+        rebuilt = LintReport.from_dict(payload)
+        assert rebuilt.to_dict() == report.to_dict()
+
+    def test_from_dict_accepts_v1_documents(self):
+        from repro.lint import LintReport
+
+        v1 = {
+            "version": 1,
+            "ok": False,
+            "files_checked": 1,
+            "rules": ["no-wallclock"],
+            "findings": [{"rule": "no-wallclock", "path": "m.py",
+                          "line": 4, "col": 11,
+                          "message": "wall clock", "symbol": "now"}],
+            "waived": [],
+        }
+        rebuilt = LintReport.from_dict(v1)
+        assert not rebuilt.ok
+        assert rebuilt.findings[0].rule == "no-wallclock"
+        # Re-serializing upgrades to v2 with derived counts.
+        assert rebuilt.to_dict()["version"] == 2
+        assert rebuilt.to_dict()["counts"]["findings"] == 1
+
+    def test_from_dict_rejects_unknown_version(self):
+        from repro.lint import LintReport
+
+        with pytest.raises(ConfigurationError):
+            LintReport.from_dict({"version": 3})
 
     def test_missing_target_raises(self):
         with pytest.raises(ConfigurationError):
@@ -648,7 +687,7 @@ class TestCli:
         bad.write_text(WALLCLOCK_BAD)
         assert cli_main(["lint", str(bad), "--json"]) == 1
         payload = json.loads(capsys.readouterr().out)
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert payload["findings"][0]["rule"] == "no-wallclock"
 
     def test_list_rules(self, capsys):
